@@ -1,0 +1,77 @@
+"""Ablation benches (beyond the paper's figures).
+
+These make the paper's section 4.4 arguments measurable:
+
+* functional-unit replication ("simply replicating the number of parallel
+  functional units which execute a matrix instruction") — MOM gains from
+  extra vector lanes without any extra fetch bandwidth;
+* window-size sensitivity — MOM needs far fewer in-flight instructions than
+  MMX/MDMX to reach its performance;
+* workload-scale sensitivity — the derived metrics are stable in the trace
+  length, justifying the scaled-down workloads documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    run_lane_ablation,
+    run_rob_ablation,
+    run_trace_length_sensitivity,
+)
+from repro.workloads.generators import WorkloadSpec
+
+_LANE_KERNELS = ("motion1", "idct", "comp")
+_ROB_KERNELS = ("motion2", "ltpsfilt")
+
+
+@pytest.mark.parametrize("kernel_name", _LANE_KERNELS)
+def test_lane_replication_ablation(benchmark, kernel_name):
+    def sweep():
+        return run_lane_ablation(kernel_name, lanes=(1, 2, 4), way=4,
+                                 spec=WorkloadSpec())
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    cycles = {lanes: run.cycles for lanes, run in results.items()}
+    assert cycles[2] <= cycles[1]
+    assert cycles[4] <= cycles[2]
+    # the paper's claim: extra lanes buy real speed-up without extra issue width
+    assert cycles[4] < cycles[1], "lane replication should speed MOM up"
+    benchmark.extra_info["mom_cycles_by_lanes"] = cycles
+
+
+@pytest.mark.parametrize("kernel_name", _ROB_KERNELS)
+def test_window_size_ablation(benchmark, kernel_name):
+    def sweep():
+        return run_rob_ablation(kernel_name, rob_sizes=(16, 32, 64, 128), way=4,
+                                spec=WorkloadSpec())
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # relative loss when shrinking the window from 128 to 16 entries
+    losses = {}
+    for isa in ("scalar", "mmx", "mdmx", "mom"):
+        losses[isa] = results[16][isa].cycles / results[128][isa].cycles
+    assert losses["mom"] <= losses["mmx"] + 0.35, \
+        "MOM should depend less on a large instruction window than MMX"
+    benchmark.extra_info["slowdown_rob16_vs_rob128"] = {
+        isa: round(v, 2) for isa, v in losses.items()
+    }
+
+
+@pytest.mark.parametrize("kernel_name", ("comp", "ltppar"))
+def test_trace_length_sensitivity(benchmark, kernel_name):
+    def sweep():
+        return run_trace_length_sensitivity(kernel_name, scales=(1, 2, 4))
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    # speed-up of MOM over scalar must be stable in the workload scale
+    speedups = {}
+    for scale, runs in results.items():
+        speedups[scale] = runs["scalar"].cycles / runs["mom"].cycles
+    values = list(speedups.values())
+    assert max(values) / min(values) < 1.6, \
+        f"speed-up should be scale-stable, got {speedups}"
+    benchmark.extra_info["mom_speedup_by_scale"] = {
+        str(k): round(v, 2) for k, v in speedups.items()
+    }

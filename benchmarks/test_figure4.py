@@ -1,0 +1,55 @@
+"""Figure 4 regeneration: speed-up over scalar vs issue width (1/2/4/8).
+
+One benchmark per kernel runs the full four-width, four-ISA sweep for that
+kernel; the regenerated speed-up table (the data behind Figure 4) is printed
+at the end of the session and the paper's qualitative shape is asserted:
+
+* every multimedia ISA beats the scalar baseline,
+* MOM beats MMX and MDMX at the 1-way design point,
+* MOM's *relative* advantage is largest at low issue widths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_speedup_table
+from repro.experiments.figure4 import figure4_speedups, run_figure4
+from repro.kernels.registry import kernel_names
+from repro.workloads.generators import WorkloadSpec
+
+WAYS = (1, 2, 4, 8)
+_collected: dict = {}
+
+
+@pytest.mark.parametrize("kernel_name", kernel_names())
+def test_figure4_kernel(benchmark, kernel_name):
+    def sweep():
+        return run_figure4(kernels=[kernel_name], ways=WAYS,
+                           spec=WorkloadSpec())
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    speedups = figure4_speedups(results)[kernel_name]
+    _collected[kernel_name] = speedups
+
+    for isa in ("mmx", "mdmx", "mom"):
+        for way in WAYS:
+            assert speedups[isa][way] > 1.0, f"{isa} does not beat scalar at way {way}"
+    assert speedups["mom"][1] > speedups["mmx"][1]
+    ratio_way1 = speedups["mom"][1] / speedups["mmx"][1]
+    ratio_way8 = speedups["mom"][8] / speedups["mmx"][8]
+    assert ratio_way8 <= ratio_way1 * 1.25, "MOM advantage should not grow with width"
+
+    benchmark.extra_info["speedups"] = {
+        isa: {str(w): round(v, 2) for w, v in per_way.items()}
+        for isa, per_way in speedups.items()
+    }
+
+
+def test_zz_print_figure4_table(capsys):
+    """Print the regenerated Figure 4 data (runs after the per-kernel benches)."""
+    if not _collected:
+        pytest.skip("no figure-4 results collected in this session")
+    with capsys.disabled():
+        print()
+        print(format_speedup_table(_collected, ways=WAYS))

@@ -1,0 +1,58 @@
+"""Figure 5 regeneration: cycles vs memory latency (1 / 12 / 50, 4-way core).
+
+Asserts the paper's latency-tolerance shape: MOM's slow-down from 1-cycle to
+50-cycle memory is the smallest of the four ISAs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_latency_table
+from repro.experiments.figure5 import figure5_cycles, figure5_slowdowns, run_figure5
+from repro.kernels.registry import kernel_names
+from repro.workloads.generators import WorkloadSpec
+
+LATENCIES = (1, 12, 50)
+_collected: dict = {}
+_slowdowns: dict = {}
+
+
+@pytest.mark.parametrize("kernel_name", kernel_names())
+def test_figure5_kernel(benchmark, kernel_name):
+    def sweep():
+        return run_figure5(kernels=[kernel_name], latencies=LATENCIES,
+                           spec=WorkloadSpec())
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    cycles = figure5_cycles(results)[kernel_name]
+    slowdowns = figure5_slowdowns(results)[kernel_name]
+    _collected[kernel_name] = cycles
+    _slowdowns[kernel_name] = slowdowns
+
+    for isa, by_lat in cycles.items():
+        # Allow a couple of cycles of jitter: the interval scheduler's greedy
+        # resource allocation is not strictly monotone in the latency.
+        assert by_lat[12] >= by_lat[1] - 3
+        assert by_lat[50] >= by_lat[12] - 3
+        assert by_lat[50] >= by_lat[1]
+    assert slowdowns["mom"] <= slowdowns["scalar"], \
+        "MOM should tolerate memory latency better than scalar code"
+    assert slowdowns["mom"] <= slowdowns["mmx"] + 0.15, \
+        "MOM should tolerate memory latency at least as well as MMX"
+
+    benchmark.extra_info["slowdown_1_to_50"] = {
+        isa: round(v, 2) for isa, v in slowdowns.items()
+    }
+
+
+def test_zz_print_figure5_table(capsys):
+    if not _collected:
+        pytest.skip("no figure-5 results collected in this session")
+    with capsys.disabled():
+        print()
+        print(format_latency_table(_collected, latencies=LATENCIES))
+        print("\nSlow-down from 1-cycle to 50-cycle memory latency:")
+        for kernel, per_isa in _slowdowns.items():
+            cells = "  ".join(f"{isa}:{v:4.1f}x" for isa, v in per_isa.items())
+            print(f"  {kernel:10s} {cells}")

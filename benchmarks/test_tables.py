@@ -1,0 +1,57 @@
+"""Tables 1-9 regeneration: per-kernel IPC / OPI / R / S / F / VLx / VLy
+breakdown on the 4-way core with 1-cycle memory latency.
+
+Asserts the qualitative relationships the paper's tables show: MOM has the
+lowest IPC but the highest OPI and R; the scalar baseline has OPI = R = S = 1;
+the speed-up decomposition identity S = R * IPC * OPI / IPC_alpha holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import speedup_decomposition
+from repro.analysis.report import format_breakdown_table
+from repro.experiments.tables import TABLE_NUMBERS, breakdown_for_kernel
+from repro.kernels.registry import kernel_names
+from repro.workloads.generators import WorkloadSpec
+
+_collected: dict = {}
+
+
+@pytest.mark.parametrize("kernel_name", kernel_names())
+def test_breakdown_table(benchmark, kernel_name):
+    def build():
+        return breakdown_for_kernel(kernel_name, way=4, mem_latency=1,
+                                    spec=WorkloadSpec())
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    _collected[kernel_name] = table
+
+    scalar, mom = table["scalar"], table["mom"]
+    assert scalar.speedup == pytest.approx(1.0)
+    assert scalar.opi == pytest.approx(1.0)
+    assert mom.opi > table["mmx"].opi
+    assert mom.opi > table["mdmx"].opi
+    assert mom.ipc <= table["mmx"].ipc + 0.25, "MOM needs far fewer instructions per cycle"
+    assert mom.vly > 1.0
+    for isa in ("mmx", "mdmx", "mom"):
+        predicted = speedup_decomposition(table[isa], scalar)
+        assert predicted == pytest.approx(table[isa].speedup, rel=1e-6)
+
+    benchmark.extra_info["table_number"] = TABLE_NUMBERS[kernel_name]
+    benchmark.extra_info["rows"] = {
+        isa: {k: round(v, 3) if isinstance(v, float) else v
+              for k, v in m.as_row().items() if k not in ("kernel", "isa")}
+        for isa, m in table.items()
+    }
+
+
+def test_zz_print_breakdown_tables(capsys):
+    if not _collected:
+        pytest.skip("no breakdown tables collected in this session")
+    with capsys.disabled():
+        print()
+        for kernel_name in sorted(_collected, key=lambda k: TABLE_NUMBERS[k]):
+            print(f"\n(paper Table {TABLE_NUMBERS[kernel_name]})")
+            print(format_breakdown_table(kernel_name, _collected[kernel_name]))

@@ -1,0 +1,14 @@
+"""Repository-level pytest configuration.
+
+Ensures the package under ``src/`` is importable even when the project has
+not been installed (the reproduction environment is offline and lacks the
+``wheel`` package needed for ``pip install -e .``; ``python setup.py
+develop`` or this path shim are the supported alternatives).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

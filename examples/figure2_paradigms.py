@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2, executable: three ways to vectorise one loop nest.
+
+Figure 2 of the paper compares how a conventional vector ISA, an MMX-like
+ISA and MOM each vectorise
+
+    for (i = 1 to 4)
+        for (j = 1 to 4)
+            d[i][j] = c[i][j] + a[i];
+
+* the MMX-like ISA vectorises the inner loop across dimension X (sub-word
+  lanes), one instruction per row;
+* a conventional vector ISA vectorises across dimension Y (rows), one
+  element per cycle — here approximated by the scalar builder with the
+  per-element operations spelled out;
+* MOM vectorises both dimensions at once: a whole 4x4 matrix per instruction.
+
+The example emits all three instruction streams with the builder API, checks
+they compute the same result and reports instruction counts and simulated
+cycles on a 1-way core (where fetch pressure — the point of the figure — is
+most visible).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.datatypes import S16
+from repro.frontend.builders import make_builder
+from repro.timing.config import MachineConfig
+from repro.timing.core import simulate_trace
+
+ROWS, COLS = 4, 4
+
+
+def build_inputs(builder):
+    rng = np.random.default_rng(2)
+    c = rng.integers(0, 100, size=(ROWS, COLS)).astype(np.int64)
+    a = rng.integers(0, 100, size=ROWS).astype(np.int64)
+    c_addr = builder.machine.alloc_array(c, S16)
+    a_addr = builder.machine.alloc_array(a, S16)
+    d_addr = builder.machine.alloc_zeros(ROWS * COLS, S16)
+    return c, a, c_addr, a_addr, d_addr
+
+
+def scalar_version():
+    """One operation at a time (the Alpha baseline)."""
+    b = make_builder("scalar", name="figure2")
+    c, a, c_addr, a_addr, d_addr = build_inputs(b)
+    R_C, R_A, R_D, R_X, R_Y = 1, 2, 3, 4, 5
+    b.li(R_C, c_addr)
+    b.li(R_A, a_addr)
+    b.li(R_D, d_addr)
+    for i in range(ROWS):
+        b.ldw(R_Y, R_A, i * 2)
+        for j in range(COLS):
+            b.ldw(R_X, R_C, (i * COLS + j) * 2)
+            b.add(R_X, R_X, R_Y)
+            b.stw(R_X, R_D, (i * COLS + j) * 2)
+    out = b.machine.read_array(d_addr, ROWS * COLS, S16).reshape(ROWS, COLS)
+    return b, out, c + a[:, None]
+
+
+def mmx_version():
+    """Dimension X only: one packed add per row, plus a splat per row."""
+    b = make_builder("mmx", name="figure2")
+    c, a, c_addr, a_addr, d_addr = build_inputs(b)
+    R_C, R_A, R_D, R_S = 1, 2, 3, 4
+    b.li(R_C, c_addr)
+    b.li(R_A, a_addr)
+    b.li(R_D, d_addr)
+    for i in range(ROWS):
+        b.ldw(R_S, R_A, i * 2)
+        b.splat(1, R_S, S16)
+        b.movq_ld(0, R_C, i * 8, S16)
+        b.padd(2, 0, 1, S16)
+        b.movq_st(2, R_D, i * 8, S16)
+    out = b.machine.read_array(d_addr, ROWS * COLS, S16).reshape(ROWS, COLS)
+    return b, out, c + a[:, None]
+
+
+def mom_version():
+    """Both dimensions at once: the whole 4x4 matrix in three instructions."""
+    b = make_builder("mom", name="figure2")
+    c, a, c_addr, a_addr, d_addr = build_inputs(b)
+    R_C, R_A, R_D, R_STRIDE, R_ASTRIDE = 1, 2, 3, 4, 5
+    b.li(R_C, c_addr)
+    b.li(R_A, a_addr)
+    b.li(R_D, d_addr)
+    b.li(R_STRIDE, COLS * 2)
+    b.li(R_ASTRIDE, 2)
+    b.setvl(ROWS)
+    b.mom_ld(0, R_C, R_STRIDE, S16)          # the whole c matrix
+    # a[i] loaded as one element per row, then broadcast across the row by
+    # multiplying a column of ones — modelled here with a strided load of the
+    # a vector followed by a row-wise unpack trick; the simplest faithful
+    # sequence uses the splat of each row via the transpose of a 1-lane load.
+    b.mom_ld(1, R_A, R_ASTRIDE, S16)          # a[i] in lane 0 of each row
+    b.mom_punpckl(1, 1, 1, S16)               # (a, a, x, x)
+    b.mom_punpckl(1, 1, 1, S16)               # (a, a, a, a)
+    b.mom_padd(2, 0, 1, S16)
+    b.mom_st(2, R_D, R_STRIDE, S16)
+    out = b.machine.read_array(d_addr, ROWS * COLS, S16).reshape(ROWS, COLS)
+    return b, out, c + a[:, None]
+
+
+def main() -> int:
+    config = MachineConfig.for_way(1)
+    print("Figure 2 of the paper, executable: d[i][j] = c[i][j] + a[i] "
+          "(4x4, 16-bit)\n")
+    print(f"{'paradigm':28s} {'instructions':>13s} {'cycles (1-way)':>15s}")
+    for label, fn in (("scalar (one element at a time)", scalar_version),
+                      ("MMX-like (dimension X only)", mmx_version),
+                      ("MOM (dimensions X and Y)", mom_version)):
+        builder, out, expected = fn()
+        assert np.array_equal(out, expected), f"{label} computed a wrong result"
+        cycles = simulate_trace(builder.trace, config).cycles
+        print(f"{label:28s} {len(builder.trace):13d} {cycles:15d}")
+    print("\nAll three compute identical results; MOM needs a handful of "
+          "instructions where the\nsub-word ISA needs one per row and the "
+          "scalar code one per element — the fetch-pressure\nargument of the "
+          "paper in miniature.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

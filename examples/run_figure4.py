@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 4 of the paper: speed-up over scalar vs issue width.
+
+Runs all nine kernels on 1-, 2-, 4- and 8-way machines for the four ISAs and
+prints the speed-up table (the data behind the paper's bar charts).
+
+Run:  python examples/run_figure4.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.report import format_speedup_table
+from repro.experiments.figure4 import figure4_speedups, run_figure4
+from repro.workloads.generators import WorkloadSpec
+
+
+def main() -> int:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    spec = WorkloadSpec(scale=scale) if scale else None
+    start = time.time()
+    results = run_figure4(spec=spec)
+    speedups = figure4_speedups(results)
+    print(format_speedup_table(speedups))
+    print(f"\n(regenerated in {time.time() - start:.1f}s of simulation)")
+
+    # Headline summary matching the paper's abstract.
+    extra = []
+    for kernel, per_isa in speedups.items():
+        best_subword = max(per_isa["mmx"][4], per_isa["mdmx"][4])
+        extra.append(per_isa["mom"][4] / best_subword)
+    print(f"MOM additional speed-up over the best sub-word ISA at 4-way: "
+          f"{min(extra):.2f}x .. {max(extra):.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 5 of the paper: impact of memory latency (4-way core).
+
+Sweeps the idealized memory latency over 1, 12 and 50 cycles for all nine
+kernels and all four ISAs, prints the cycle counts and the slow-down of each
+ISA from the 1-cycle to the 50-cycle design point.
+
+Run:  python examples/run_figure5.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.report import format_latency_table
+from repro.experiments.figure5 import figure5_cycles, figure5_slowdowns, run_figure5
+from repro.workloads.generators import WorkloadSpec
+
+
+def main() -> int:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    spec = WorkloadSpec(scale=scale) if scale else None
+    start = time.time()
+    results = run_figure5(spec=spec)
+    print(format_latency_table(figure5_cycles(results)))
+
+    print("\nSlow-down from 1-cycle to 50-cycle memory latency:")
+    slowdowns = figure5_slowdowns(results)
+    for kernel, per_isa in slowdowns.items():
+        cells = "  ".join(f"{isa:6s} {value:4.1f}x" for isa, value in per_isa.items())
+        print(f"  {kernel:10s} {cells}")
+    print(f"\n(regenerated in {time.time() - start:.1f}s of simulation)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Regenerate Tables 1-9 of the paper: IPC / OPI / R / S / F / VLx / VLy per
+kernel and ISA on the 4-way core with perfect (1-cycle) memory.
+
+Run:  python examples/run_tables.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.analysis.report import format_breakdown_table
+from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
+from repro.workloads.generators import WorkloadSpec
+
+
+def main() -> int:
+    scale = int(sys.argv[1]) if len(sys.argv) > 1 else None
+    spec = WorkloadSpec(scale=scale) if scale else None
+    start = time.time()
+    tables = run_breakdown_tables(spec=spec)
+    for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
+        print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
+        print(format_breakdown_table(kernel, tables[kernel]))
+    print(f"\n(regenerated in {time.time() - start:.1f}s of simulation)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The CLI exposes the experiment drivers without writing any Python:
+
+* ``list``     — list the available kernels and their descriptions.
+* ``run``      — build and simulate one kernel variant and print its metrics.
+* ``figure4``  — regenerate the Figure 4 speed-up table.
+* ``figure5``  — regenerate the Figure 5 latency-tolerance table.
+* ``tables``   — regenerate the Tables 1-9 breakdowns.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from repro.analysis.metrics import compute_metrics
+from repro.analysis.report import (
+    format_breakdown_table,
+    format_latency_table,
+    format_speedup_table,
+)
+from repro.experiments.figure4 import figure4_speedups, run_figure4
+from repro.experiments.figure5 import figure5_cycles, figure5_slowdowns, run_figure5
+from repro.experiments.runner import run_kernel_all_isas
+from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
+from repro.kernels.registry import KERNELS, kernel_names
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of the MOM matrix SIMD ISA study (SC'99)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the available kernels")
+
+    run_p = sub.add_parser("run", help="run one kernel on all four ISAs")
+    run_p.add_argument("kernel", choices=kernel_names())
+    run_p.add_argument("--way", type=int, default=4, help="issue width (default 4)")
+    run_p.add_argument("--mem-latency", type=int, default=1,
+                       help="memory latency in cycles (default 1)")
+    run_p.add_argument("--scale", type=int, default=None,
+                       help="workload scale (default: kernel-specific)")
+    run_p.add_argument("--seed", type=int, default=1999, help="workload RNG seed")
+
+    fig4_p = sub.add_parser("figure4", help="regenerate Figure 4")
+    fig4_p.add_argument("--kernels", nargs="*", default=None, choices=kernel_names())
+    fig4_p.add_argument("--ways", nargs="*", type=int, default=[1, 2, 4, 8])
+    fig4_p.add_argument("--scale", type=int, default=None)
+
+    fig5_p = sub.add_parser("figure5", help="regenerate Figure 5")
+    fig5_p.add_argument("--kernels", nargs="*", default=None, choices=kernel_names())
+    fig5_p.add_argument("--latencies", nargs="*", type=int, default=[1, 12, 50])
+    fig5_p.add_argument("--scale", type=int, default=None)
+
+    tables_p = sub.add_parser("tables", help="regenerate Tables 1-9")
+    tables_p.add_argument("--kernels", nargs="*", default=None, choices=kernel_names())
+    tables_p.add_argument("--way", type=int, default=4)
+    tables_p.add_argument("--scale", type=int, default=None)
+
+    return parser
+
+
+def _spec(scale: Optional[int], seed: int = 1999) -> Optional[WorkloadSpec]:
+    if scale is None:
+        return None
+    return WorkloadSpec(scale=scale, seed=seed)
+
+
+def _cmd_list() -> int:
+    for name, kernel in KERNELS.items():
+        print(f"{name:10s} [{kernel.benchmark:12s}] {kernel.description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = MachineConfig.for_way(args.way, mem_latency=args.mem_latency)
+    spec = _spec(args.scale, args.seed) or WorkloadSpec(
+        scale=KERNELS[args.kernel].default_scale, seed=args.seed)
+    runs = run_kernel_all_isas(args.kernel, config=config, spec=spec)
+    baseline = runs["scalar"].sim
+    metrics = {isa: compute_metrics(run.sim, run.stats, baseline)
+               for isa, run in runs.items()}
+    print(f"{args.kernel} on a {args.way}-way core, "
+          f"{args.mem_latency}-cycle memory, scale {spec.scale}")
+    print(format_breakdown_table(args.kernel, metrics))
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    results = run_figure4(kernels=args.kernels, ways=tuple(args.ways),
+                          spec=_spec(args.scale))
+    print(format_speedup_table(figure4_speedups(results), ways=tuple(args.ways)))
+    return 0
+
+
+def _cmd_figure5(args: argparse.Namespace) -> int:
+    results = run_figure5(kernels=args.kernels, latencies=tuple(args.latencies),
+                          spec=_spec(args.scale))
+    print(format_latency_table(figure5_cycles(results),
+                               latencies=tuple(args.latencies)))
+    print("\nSlow-down from the lowest to the highest latency:")
+    for kernel, per_isa in figure5_slowdowns(results).items():
+        cells = "  ".join(f"{isa}:{v:4.1f}x" for isa, v in per_isa.items())
+        print(f"  {kernel:10s} {cells}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    tables = run_breakdown_tables(kernels=args.kernels, way=args.way,
+                                  spec=_spec(args.scale))
+    for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
+        print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
+        print(format_breakdown_table(kernel, tables[kernel]))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "figure4":
+        return _cmd_figure4(args)
+    if args.command == "figure5":
+        return _cmd_figure5(args)
+    if args.command == "tables":
+        return _cmd_tables(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

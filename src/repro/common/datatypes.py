@@ -1,0 +1,176 @@
+"""Packed sub-word element types and 64-bit word packing/unpacking.
+
+The multimedia ISAs in the paper manipulate 64-bit registers that hold a
+number of smaller elements:
+
+* eight 8-bit elements,
+* four 16-bit elements, or
+* two 32-bit elements.
+
+A packed word is represented here as a Python ``int`` in ``[0, 2**64)`` —
+Python integers are arbitrary precision so there is no overflow hazard — and
+lane views are NumPy ``int64`` arrays (wide enough to hold any signed or
+unsigned 8/16/32-bit lane value and intermediate products are computed with
+``object`` arrays where necessary).
+
+Lane 0 is the least-significant lane of the word, matching the little-endian
+layout of MMX/MDMX registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+WORD_BITS = 64
+WORD_MASK = (1 << WORD_BITS) - 1
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """A packed sub-word element type.
+
+    Attributes
+    ----------
+    bits:
+        Element width in bits (8, 16 or 32).
+    signed:
+        Whether lane values are interpreted as two's-complement signed.
+    """
+
+    bits: int
+    signed: bool
+
+    def __post_init__(self) -> None:
+        if self.bits not in (8, 16, 32):
+            raise ValueError(f"unsupported element width: {self.bits}")
+
+    @property
+    def lanes(self) -> int:
+        """Number of elements that fit in a 64-bit word."""
+        return WORD_BITS // self.bits
+
+    @property
+    def mask(self) -> int:
+        """Bit mask selecting one lane."""
+        return (1 << self.bits) - 1
+
+    @property
+    def min(self) -> int:
+        """Smallest representable lane value."""
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max(self) -> int:
+        """Largest representable lane value."""
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    @property
+    def name(self) -> str:
+        return f"{'s' if self.signed else 'u'}{self.bits}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+U8 = ElementType(8, signed=False)
+S8 = ElementType(8, signed=True)
+U16 = ElementType(16, signed=False)
+S16 = ElementType(16, signed=True)
+U32 = ElementType(32, signed=False)
+S32 = ElementType(32, signed=True)
+
+_BY_NAME = {t.name: t for t in (U8, S8, U16, S16, U32, S32)}
+
+
+def element_type(name: str) -> ElementType:
+    """Look an :class:`ElementType` up by its short name (e.g. ``"s16"``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:  # pragma: no cover - defensive
+        raise KeyError(f"unknown element type {name!r}") from exc
+
+
+def lanes_per_word(etype: ElementType) -> int:
+    """Number of lanes of ``etype`` in a 64-bit word."""
+    return etype.lanes
+
+
+def _as_word(value: int) -> int:
+    value = int(value)
+    if not 0 <= value <= WORD_MASK:
+        raise ValueError(f"packed word out of range: {value:#x}")
+    return value
+
+
+def unpack_word(word: int, etype: ElementType) -> np.ndarray:
+    """Split a 64-bit packed word into its lanes.
+
+    Returns an ``int64`` array of length ``etype.lanes``; lane 0 is the
+    least-significant lane.  Signed element types are sign-extended.
+    """
+    word = _as_word(word)
+    lanes = np.empty(etype.lanes, dtype=np.int64)
+    mask = etype.mask
+    sign_bit = 1 << (etype.bits - 1)
+    for i in range(etype.lanes):
+        lane = (word >> (i * etype.bits)) & mask
+        if etype.signed and lane & sign_bit:
+            lane -= 1 << etype.bits
+        lanes[i] = lane
+    return lanes
+
+
+def pack_word(lanes: Sequence[int] | np.ndarray, etype: ElementType) -> int:
+    """Pack lane values into a 64-bit word, truncating each lane to width.
+
+    Lane values outside the representable range are wrapped (two's
+    complement); callers that need saturation must apply it before packing.
+    """
+    arr = np.asarray(lanes)
+    if arr.shape != (etype.lanes,):
+        raise ValueError(
+            f"expected {etype.lanes} lanes for {etype.name}, got shape {arr.shape}"
+        )
+    word = 0
+    mask = etype.mask
+    for i in range(etype.lanes):
+        word |= (int(arr[i]) & mask) << (i * etype.bits)
+    return word
+
+
+def unpack_words(words: Iterable[int], etype: ElementType) -> np.ndarray:
+    """Unpack a sequence of packed words into a 2-D lane matrix.
+
+    Row ``i`` of the result holds the lanes of ``words[i]``; this is the
+    natural "matrix" view used by the MOM register file.
+    """
+    rows = [unpack_word(w, etype) for w in words]
+    if not rows:
+        return np.empty((0, etype.lanes), dtype=np.int64)
+    return np.stack(rows)
+
+
+def pack_words(matrix: np.ndarray, etype: ElementType) -> list[int]:
+    """Pack a 2-D lane matrix back into a list of 64-bit words."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[1] != etype.lanes:
+        raise ValueError(
+            f"expected (rows, {etype.lanes}) matrix for {etype.name}, "
+            f"got shape {matrix.shape}"
+        )
+    return [pack_word(row, etype) for row in matrix]
+
+
+def word_to_bytes(word: int) -> bytes:
+    """Little-endian byte representation of a packed 64-bit word."""
+    return _as_word(word).to_bytes(8, "little")
+
+
+def bytes_to_word(data: bytes) -> int:
+    """Inverse of :func:`word_to_bytes`."""
+    if len(data) != 8:
+        raise ValueError(f"expected 8 bytes, got {len(data)}")
+    return int.from_bytes(data, "little")

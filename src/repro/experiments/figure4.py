@@ -1,0 +1,60 @@
+"""Figure 4: speed-up of MMX / MDMX / MOM over scalar code vs issue width.
+
+The paper evaluates all nine kernels on 1-, 2-, 4- and 8-way out-of-order
+cores with an idealized 1-cycle-latency memory and reports the speed-up of
+each multimedia ISA over the scalar (Alpha) code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.experiments.runner import run_kernel
+from repro.kernels.base import ISA_VARIANTS
+from repro.kernels.registry import get_kernel, kernel_names
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+__all__ = ["run_figure4", "figure4_speedups"]
+
+
+def run_figure4(
+    kernels: Optional[Iterable[str]] = None,
+    ways: Sequence[int] = (1, 2, 4, 8),
+    spec: Optional[WorkloadSpec] = None,
+    mem_latency: int = 1,
+) -> Dict[str, Dict[str, Dict[int, "object"]]]:
+    """Run the Figure 4 sweep.
+
+    Returns ``results[kernel][isa][way] -> RunResult``.  Each kernel uses one
+    shared workload across all ISAs and widths so speed-ups are apples to
+    apples.
+    """
+    kernels = list(kernels) if kernels is not None else kernel_names()
+    results: Dict[str, Dict[str, Dict[int, object]]] = {}
+    for name in kernels:
+        kernel = get_kernel(name)
+        workload = kernel.make_workload(
+            spec if spec is not None else WorkloadSpec(scale=kernel.default_scale)
+        )
+        per_isa: Dict[str, Dict[int, object]] = {isa: {} for isa in ISA_VARIANTS}
+        for way in ways:
+            config = MachineConfig.for_way(way, mem_latency=mem_latency)
+            for isa in ISA_VARIANTS:
+                per_isa[isa][way] = run_kernel(name, isa, config=config,
+                                               workload=workload)
+        results[name] = per_isa
+    return results
+
+
+def figure4_speedups(results) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Reduce :func:`run_figure4` output to speed-up numbers over scalar."""
+    speedups: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for kernel, per_isa in results.items():
+        speedups[kernel] = {}
+        for isa in ("mmx", "mdmx", "mom"):
+            speedups[kernel][isa] = {}
+            for way, run in per_isa[isa].items():
+                baseline = per_isa["scalar"][way]
+                speedups[kernel][isa][way] = baseline.cycles / run.cycles
+    return speedups

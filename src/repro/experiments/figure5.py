@@ -1,0 +1,66 @@
+"""Figure 5: impact of memory latency on performance (4-way core).
+
+The paper varies the idealized memory latency over 1, 12 and 50 cycles
+(perfect L1, L2 hit, main memory) and reports execution cycles for the
+scalar, MMX, MDMX and MOM versions of every kernel on the 4-way core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.experiments.runner import run_kernel
+from repro.kernels.base import ISA_VARIANTS
+from repro.kernels.registry import get_kernel, kernel_names
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+__all__ = ["run_figure5", "figure5_cycles", "figure5_slowdowns"]
+
+
+def run_figure5(
+    kernels: Optional[Iterable[str]] = None,
+    latencies: Sequence[int] = (1, 12, 50),
+    way: int = 4,
+    spec: Optional[WorkloadSpec] = None,
+) -> Dict[str, Dict[str, Dict[int, "object"]]]:
+    """Run the Figure 5 sweep: ``results[kernel][isa][latency] -> RunResult``."""
+    kernels = list(kernels) if kernels is not None else kernel_names()
+    results: Dict[str, Dict[str, Dict[int, object]]] = {}
+    for name in kernels:
+        kernel = get_kernel(name)
+        workload = kernel.make_workload(
+            spec if spec is not None else WorkloadSpec(scale=kernel.default_scale)
+        )
+        per_isa: Dict[str, Dict[int, object]] = {isa: {} for isa in ISA_VARIANTS}
+        for latency in latencies:
+            config = MachineConfig.for_way(way, mem_latency=latency)
+            for isa in ISA_VARIANTS:
+                per_isa[isa][latency] = run_kernel(name, isa, config=config,
+                                                   workload=workload)
+        results[name] = per_isa
+    return results
+
+
+def figure5_cycles(results) -> Dict[str, Dict[str, Dict[int, int]]]:
+    """Reduce :func:`run_figure5` output to raw cycle counts."""
+    cycles: Dict[str, Dict[str, Dict[int, int]]] = {}
+    for kernel, per_isa in results.items():
+        cycles[kernel] = {
+            isa: {lat: run.cycles for lat, run in runs.items()}
+            for isa, runs in per_isa.items()
+        }
+    return cycles
+
+
+def figure5_slowdowns(results) -> Dict[str, Dict[str, float]]:
+    """Slow-down of each ISA when memory latency goes from the smallest to
+    the largest simulated value (the paper's headline latency-tolerance
+    comparison)."""
+    slowdowns: Dict[str, Dict[str, float]] = {}
+    for kernel, per_isa in results.items():
+        slowdowns[kernel] = {}
+        for isa, runs in per_isa.items():
+            lats = sorted(runs)
+            slowdowns[kernel][isa] = runs[lats[-1]].cycles / runs[lats[0]].cycles
+    return slowdowns

@@ -1,0 +1,89 @@
+"""Single-kernel experiment runner.
+
+``run_kernel`` is the basic unit every experiment driver is built from:
+build one ISA variant of one kernel (verifying its output against the NumPy
+golden reference), then simulate its trace on a machine configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.kernels.base import ISA_VARIANTS, KernelBuildResult
+from repro.kernels.registry import get_kernel
+from repro.timing.config import MachineConfig
+from repro.timing.core import simulate_trace
+from repro.timing.results import SimResult
+from repro.trace.stats import TraceStats, summarize_trace
+from repro.workloads.generators import WorkloadSpec
+
+__all__ = ["RunResult", "run_kernel", "run_kernel_all_isas"]
+
+
+@dataclass
+class RunResult:
+    """Everything produced by one (kernel, ISA, machine) run."""
+
+    build: KernelBuildResult
+    sim: SimResult
+    stats: TraceStats
+
+    @property
+    def kernel(self) -> str:
+        return self.build.kernel
+
+    @property
+    def isa(self) -> str:
+        return self.build.isa
+
+    @property
+    def cycles(self) -> int:
+        return self.sim.cycles
+
+    @property
+    def correct(self) -> bool:
+        return self.build.correct
+
+
+def run_kernel(
+    kernel_name: str,
+    isa: str,
+    config: Optional[MachineConfig] = None,
+    spec: Optional[WorkloadSpec] = None,
+    workload: Optional[dict] = None,
+    check: bool = True,
+) -> RunResult:
+    """Build and simulate one kernel variant.
+
+    Raises ``AssertionError`` if ``check`` is set and the variant's output
+    does not match the golden reference — a run whose functional output is
+    wrong must never silently contribute timing numbers.
+    """
+    kernel = get_kernel(kernel_name)
+    build = kernel.run_variant(isa, spec=spec, workload=workload)
+    if check and not build.correct:
+        raise AssertionError(
+            f"{kernel_name}/{isa}: functional output does not match the golden "
+            f"reference (max abs error {build.max_abs_error()})"
+        )
+    config = config if config is not None else MachineConfig.for_way(4)
+    sim = simulate_trace(build.trace, config)
+    stats = summarize_trace(build.trace)
+    return RunResult(build=build, sim=sim, stats=stats)
+
+
+def run_kernel_all_isas(
+    kernel_name: str,
+    config: Optional[MachineConfig] = None,
+    spec: Optional[WorkloadSpec] = None,
+    check: bool = True,
+) -> Dict[str, RunResult]:
+    """Run all four ISA variants of a kernel on a shared workload."""
+    kernel = get_kernel(kernel_name)
+    workload = kernel.make_workload(spec if spec is not None else WorkloadSpec(
+        scale=kernel.default_scale))
+    return {
+        isa: run_kernel(kernel_name, isa, config=config, workload=workload, check=check)
+        for isa in ISA_VARIANTS
+    }

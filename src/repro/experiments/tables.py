@@ -1,0 +1,61 @@
+"""Tables 1-9: per-kernel breakdown of the speed-up into IPC, OPI and R.
+
+The paper reports, for each kernel on the 4-way core with 1-cycle memory
+latency, the IPC, OPI, R, S, F, VLx and VLy of the scalar, MMX, MDMX and MOM
+versions (Tables 1 to 9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.analysis.metrics import KernelMetrics, compute_metrics
+from repro.experiments.runner import run_kernel_all_isas
+from repro.kernels.registry import kernel_names
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+__all__ = ["run_breakdown_tables", "breakdown_for_kernel"]
+
+#: Paper table number for each kernel (Tables 1-9).
+TABLE_NUMBERS = {
+    "motion2": 1,
+    "motion1": 2,
+    "idct": 3,
+    "rgb2ycc": 4,
+    "h2v2": 5,
+    "comp": 6,
+    "addblock": 7,
+    "ltppar": 8,
+    "ltpsfilt": 9,
+}
+
+
+def breakdown_for_kernel(
+    kernel_name: str,
+    way: int = 4,
+    mem_latency: int = 1,
+    spec: Optional[WorkloadSpec] = None,
+) -> Dict[str, KernelMetrics]:
+    """Compute one breakdown table (IPC / OPI / R / S / F / VLx / VLy)."""
+    config = MachineConfig.for_way(way, mem_latency=mem_latency)
+    runs = run_kernel_all_isas(kernel_name, config=config, spec=spec)
+    baseline = runs["scalar"].sim
+    return {
+        isa: compute_metrics(run.sim, run.stats, baseline)
+        for isa, run in runs.items()
+    }
+
+
+def run_breakdown_tables(
+    kernels: Optional[Iterable[str]] = None,
+    way: int = 4,
+    mem_latency: int = 1,
+    spec: Optional[WorkloadSpec] = None,
+) -> Dict[str, Dict[str, KernelMetrics]]:
+    """Compute the full set of breakdown tables: ``tables[kernel][isa]``."""
+    kernels = list(kernels) if kernels is not None else kernel_names()
+    return {
+        name: breakdown_for_kernel(name, way=way, mem_latency=mem_latency, spec=spec)
+        for name in kernels
+    }

@@ -1,0 +1,56 @@
+"""Convenience re-exports and factory helpers for the ISA builders."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.frontend.machine import FunctionalMachine
+from repro.frontend.scalar_builder import ScalarBuilder
+from repro.frontend.simd_builder import MMXBuilder, MDMXBuilder
+from repro.frontend.mom_builder import MOMBuilder
+from repro.trace.container import Trace
+
+__all__ = [
+    "ScalarBuilder",
+    "MMXBuilder",
+    "MDMXBuilder",
+    "MOMBuilder",
+    "BUILDER_CLASSES",
+    "make_builder",
+]
+
+#: Map from ISA name to builder class, in the order the paper reports them.
+BUILDER_CLASSES = {
+    "scalar": ScalarBuilder,
+    "mmx": MMXBuilder,
+    "mdmx": MDMXBuilder,
+    "mom": MOMBuilder,
+}
+
+#: ISA names in the paper's reporting order (Alpha baseline first).
+ISA_ORDER = ("scalar", "mmx", "mdmx", "mom")
+
+
+def make_builder(isa: str, machine: Optional[FunctionalMachine] = None,
+                 name: str = "") -> ScalarBuilder:
+    """Create a builder (and, if needed, a fresh machine) for ``isa``.
+
+    Parameters
+    ----------
+    isa:
+        One of ``"scalar"``, ``"mmx"``, ``"mdmx"``, ``"mom"``.
+    machine:
+        Optional pre-populated functional machine; a new one is created when
+        omitted.
+    name:
+        Trace name (usually the kernel name).
+    """
+    try:
+        cls = BUILDER_CLASSES[isa]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown ISA {isa!r}; expected one of {sorted(BUILDER_CLASSES)}"
+        ) from exc
+    if machine is None:
+        machine = FunctionalMachine()
+    return cls(machine, Trace(name=name, isa=isa), name=name)

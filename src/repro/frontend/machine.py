@@ -1,0 +1,140 @@
+"""Functional machine state: memory plus all architectural register files."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.datatypes import ElementType, WORD_MASK
+from repro.isa.registers import (
+    AccumulatorFile,
+    MatrixRegisterFile,
+    MultimediaRegisterFile,
+    ScalarRegisterFile,
+    VectorControl,
+    MAX_MATRIX_ROWS,
+)
+
+__all__ = ["Memory", "FunctionalMachine"]
+
+
+class Memory:
+    """Byte-addressable little-endian memory with a bump allocator.
+
+    The size defaults to 4 MiB, comfortably larger than any kernel working
+    set in this reproduction.  Addresses are plain Python ints.
+    """
+
+    def __init__(self, size: int = 4 << 20) -> None:
+        self.size = size
+        self._data = bytearray(size)
+        self._brk = 64  # keep address 0 unused to catch null-pointer bugs
+
+    # -- allocation -------------------------------------------------------
+
+    def alloc(self, nbytes: int, align: int = 64) -> int:
+        """Reserve ``nbytes`` of memory and return its base address."""
+        addr = (self._brk + align - 1) // align * align
+        new_brk = addr + nbytes
+        if new_brk > self.size:
+            raise MemoryError(
+                f"functional memory exhausted ({new_brk} > {self.size} bytes)"
+            )
+        self._brk = new_brk
+        return addr
+
+    # -- raw access -------------------------------------------------------
+
+    def _check(self, addr: int, nbytes: int) -> None:
+        if addr < 0 or addr + nbytes > self.size:
+            raise IndexError(f"memory access out of range: [{addr}, {addr + nbytes})")
+
+    def read_bytes(self, addr: int, nbytes: int) -> bytes:
+        self._check(addr, nbytes)
+        return bytes(self._data[addr : addr + nbytes])
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        self._check(addr, len(data))
+        self._data[addr : addr + len(data)] = data
+
+    # -- typed access -----------------------------------------------------
+
+    def read_uint(self, addr: int, nbytes: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, nbytes), "little")
+
+    def read_sint(self, addr: int, nbytes: int) -> int:
+        return int.from_bytes(self.read_bytes(addr, nbytes), "little", signed=True)
+
+    def write_uint(self, addr: int, value: int, nbytes: int) -> None:
+        mask = (1 << (8 * nbytes)) - 1
+        self.write_bytes(addr, (int(value) & mask).to_bytes(nbytes, "little"))
+
+    # -- NumPy array helpers (workload setup / result extraction) ---------
+
+    def write_array(self, addr: int, array: np.ndarray, etype: ElementType) -> None:
+        """Write a NumPy array of lane values at ``addr`` in row-major order."""
+        flat = np.asarray(array).reshape(-1)
+        nbytes = etype.bits // 8
+        mask = etype.mask
+        buf = bytearray(len(flat) * nbytes)
+        for i, value in enumerate(flat):
+            buf[i * nbytes : (i + 1) * nbytes] = (int(value) & mask).to_bytes(
+                nbytes, "little"
+            )
+        self.write_bytes(addr, bytes(buf))
+
+    def read_array(self, addr: int, count: int, etype: ElementType) -> np.ndarray:
+        """Read ``count`` elements of ``etype`` starting at ``addr``."""
+        nbytes = etype.bits // 8
+        raw = self.read_bytes(addr, count * nbytes)
+        out = np.empty(count, dtype=np.int64)
+        sign_bit = 1 << (etype.bits - 1)
+        for i in range(count):
+            value = int.from_bytes(raw[i * nbytes : (i + 1) * nbytes], "little")
+            if etype.signed and value & sign_bit:
+                value -= 1 << etype.bits
+            out[i] = value
+        return out
+
+    def alloc_array(self, array: np.ndarray, etype: ElementType, align: int = 64) -> int:
+        """Allocate space for ``array`` and write it; returns the address."""
+        flat = np.asarray(array).reshape(-1)
+        addr = self.alloc(flat.size * (etype.bits // 8), align)
+        self.write_array(addr, flat, etype)
+        return addr
+
+    def alloc_zeros(self, count: int, etype: ElementType, align: int = 64) -> int:
+        """Allocate a zero-filled array of ``count`` elements of ``etype``."""
+        return self.alloc(count * (etype.bits // 8), align)
+
+
+class FunctionalMachine:
+    """All architectural state shared by the four ISA models.
+
+    The register-file sizes follow the paper's "enhanced" ISA models
+    (section 4.1): 32 multimedia registers (MMX/MDMX), 4 MDMX accumulators,
+    16 MOM matrix registers, 2 MOM accumulators and one vector-length
+    register.
+    """
+
+    def __init__(self, mem_size: int = 4 << 20) -> None:
+        self.memory = Memory(mem_size)
+        self.int_regs = ScalarRegisterFile(32)
+        self.media_regs = MultimediaRegisterFile(32)
+        self.mdmx_accs = AccumulatorFile(num_accs=4, lanes=8)
+        self.matrix_regs = MatrixRegisterFile(num_regs=16, rows=MAX_MATRIX_ROWS)
+        self.mom_accs = AccumulatorFile(num_accs=2, lanes=8)
+        self.vector_control = VectorControl(MAX_MATRIX_ROWS)
+
+    # Convenience passthroughs -------------------------------------------
+
+    def alloc_array(self, array: np.ndarray, etype: ElementType, align: int = 64) -> int:
+        return self.memory.alloc_array(array, etype, align)
+
+    def alloc_zeros(self, count: int, etype: ElementType, align: int = 64) -> int:
+        return self.memory.alloc_zeros(count, etype, align)
+
+    def read_array(self, addr: int, count: int, etype: ElementType) -> np.ndarray:
+        return self.memory.read_array(addr, count, etype)
+
+    def read_media_word(self, index: int) -> int:
+        return self.media_regs.read(index) & WORD_MASK

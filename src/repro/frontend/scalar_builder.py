@@ -1,0 +1,308 @@
+"""Scalar (Alpha-like) instruction builder.
+
+The scalar builder is the baseline ISA of the paper ("Alpha code") and also
+the base class of the multimedia builders: MMX / MDMX / MOM kernels still
+need scalar instructions for address arithmetic, loop control and scalar
+post-processing, and those overhead instructions are a first-class part of
+the paper's analysis (they are what the R metric measures).
+
+Every emit method executes its semantics against the shared
+:class:`~repro.frontend.machine.FunctionalMachine` and appends a
+:class:`~repro.trace.instruction.DynInstr` to the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.frontend.machine import FunctionalMachine
+from repro.isa.opclasses import OpClass, RegFile
+from repro.trace.container import Trace
+from repro.trace.instruction import DynInstr, RegRef
+
+__all__ = ["ScalarBuilder"]
+
+_WORD64_MASK = (1 << 64) - 1
+
+
+def _ref_int(index: int) -> RegRef:
+    return RegRef(RegFile.INT, index)
+
+
+class ScalarBuilder:
+    """Builder for the scalar baseline ISA.
+
+    Scalar registers are referred to by integer index (0–31); register 31 is
+    hard-wired to zero.  Values are Python ints and are *not* wrapped to 64
+    bits (addresses and loop counters never approach that range), except for
+    explicit logical operations.
+    """
+
+    isa_name = "scalar"
+
+    def __init__(self, machine: FunctionalMachine, trace: Optional[Trace] = None,
+                 name: str = "") -> None:
+        self.machine = machine
+        self.trace = trace if trace is not None else Trace(name=name, isa=self.isa_name)
+        if not self.trace.isa:
+            self.trace.isa = self.isa_name
+        self.regs = machine.int_regs
+        self.memory = machine.memory
+
+    # ------------------------------------------------------------------
+    # trace plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(
+        self,
+        opcode: str,
+        opclass: OpClass,
+        srcs: Sequence[RegRef] = (),
+        dsts: Sequence[RegRef] = (),
+        ops: int = 1,
+        vlx: int = 1,
+        vly: int = 1,
+        is_vector: bool = False,
+        non_pipelined: bool = False,
+    ) -> DynInstr:
+        instr = DynInstr(
+            opcode=opcode,
+            opclass=opclass,
+            isa=self.isa_name,
+            srcs=tuple(srcs),
+            dsts=tuple(dsts),
+            ops=ops,
+            vlx=vlx,
+            vly=vly,
+            is_vector=is_vector,
+            non_pipelined=non_pipelined,
+        )
+        self.trace.append(instr)
+        return instr
+
+    # ------------------------------------------------------------------
+    # immediates and moves
+    # ------------------------------------------------------------------
+
+    def li(self, rd: int, imm: int) -> None:
+        """Load an immediate into a scalar register."""
+        self.regs.write(rd, int(imm))
+        self._emit("li", OpClass.IALU, srcs=(), dsts=(_ref_int(rd),))
+
+    def mov(self, rd: int, rs: int) -> None:
+        """Register-to-register move."""
+        self.regs.write(rd, self.regs.read(rs))
+        self._emit("mov", OpClass.IALU, srcs=(_ref_int(rs),), dsts=(_ref_int(rd),))
+
+    # ------------------------------------------------------------------
+    # integer ALU
+    # ------------------------------------------------------------------
+
+    def _binop(self, opcode: str, rd: int, ra: int, rb: int, fn) -> None:
+        result = fn(self.regs.read(ra), self.regs.read(rb))
+        self.regs.write(rd, result)
+        self._emit(opcode, OpClass.IALU, srcs=(_ref_int(ra), _ref_int(rb)),
+                   dsts=(_ref_int(rd),))
+
+    def _immop(self, opcode: str, rd: int, ra: int, imm: int, fn) -> None:
+        result = fn(self.regs.read(ra), int(imm))
+        self.regs.write(rd, result)
+        self._emit(opcode, OpClass.IALU, srcs=(_ref_int(ra),), dsts=(_ref_int(rd),))
+
+    def add(self, rd: int, ra: int, rb: int) -> None:
+        """Integer add."""
+        self._binop("add", rd, ra, rb, lambda a, b: a + b)
+
+    def addi(self, rd: int, ra: int, imm: int) -> None:
+        """Integer add with an immediate."""
+        self._immop("addi", rd, ra, imm, lambda a, b: a + b)
+
+    def sub(self, rd: int, ra: int, rb: int) -> None:
+        """Integer subtract."""
+        self._binop("sub", rd, ra, rb, lambda a, b: a - b)
+
+    def subi(self, rd: int, ra: int, imm: int) -> None:
+        """Integer subtract with an immediate."""
+        self._immop("subi", rd, ra, imm, lambda a, b: a - b)
+
+    def and_(self, rd: int, ra: int, rb: int) -> None:
+        """Bitwise AND."""
+        self._binop("and", rd, ra, rb, lambda a, b: (a & b) & _WORD64_MASK)
+
+    def andi(self, rd: int, ra: int, imm: int) -> None:
+        """Bitwise AND with an immediate."""
+        self._immop("andi", rd, ra, imm, lambda a, b: (a & b) & _WORD64_MASK)
+
+    def or_(self, rd: int, ra: int, rb: int) -> None:
+        """Bitwise OR."""
+        self._binop("or", rd, ra, rb, lambda a, b: (a | b) & _WORD64_MASK)
+
+    def xor(self, rd: int, ra: int, rb: int) -> None:
+        """Bitwise exclusive OR."""
+        self._binop("xor", rd, ra, rb, lambda a, b: (a ^ b) & _WORD64_MASK)
+
+    def slli(self, rd: int, ra: int, shift: int) -> None:
+        """Shift left logical by an immediate."""
+        self._immop("slli", rd, ra, shift, lambda a, s: a << s)
+
+    def srai(self, rd: int, ra: int, shift: int) -> None:
+        """Shift right arithmetic by an immediate."""
+        self._immop("srai", rd, ra, shift, lambda a, s: a >> s)
+
+    def srli(self, rd: int, ra: int, shift: int) -> None:
+        """Shift right logical (64-bit) by an immediate."""
+        self._immop("srli", rd, ra, shift, lambda a, s: (a & _WORD64_MASK) >> s)
+
+    def mul(self, rd: int, ra: int, rb: int) -> None:
+        """Integer multiply (long latency)."""
+        result = self.regs.read(ra) * self.regs.read(rb)
+        self.regs.write(rd, result)
+        self._emit("mul", OpClass.IMUL, srcs=(_ref_int(ra), _ref_int(rb)),
+                   dsts=(_ref_int(rd),))
+
+    def muli(self, rd: int, ra: int, imm: int) -> None:
+        """Integer multiply by an immediate (long latency)."""
+        result = self.regs.read(ra) * int(imm)
+        self.regs.write(rd, result)
+        self._emit("muli", OpClass.IMUL, srcs=(_ref_int(ra),), dsts=(_ref_int(rd),))
+
+    # ------------------------------------------------------------------
+    # comparisons and conditional moves
+    # ------------------------------------------------------------------
+
+    def cmplt(self, rd: int, ra: int, rb: int) -> None:
+        """``rd = 1 if ra < rb else 0`` (signed)."""
+        self._binop("cmplt", rd, ra, rb, lambda a, b: 1 if a < b else 0)
+
+    def cmple(self, rd: int, ra: int, rb: int) -> None:
+        """``rd = 1 if ra <= rb else 0``."""
+        self._binop("cmple", rd, ra, rb, lambda a, b: 1 if a <= b else 0)
+
+    def cmpeq(self, rd: int, ra: int, rb: int) -> None:
+        """``rd = 1 if ra == rb else 0``."""
+        self._binop("cmpeq", rd, ra, rb, lambda a, b: 1 if a == b else 0)
+
+    def cmplti(self, rd: int, ra: int, imm: int) -> None:
+        """``rd = 1 if ra < imm else 0``."""
+        self._immop("cmplti", rd, ra, imm, lambda a, b: 1 if a < b else 0)
+
+    def cmovlt(self, rd: int, rc: int, rs: int) -> None:
+        """Conditional move: ``rd = rs`` if ``rc != 0``."""
+        if self.regs.read(rc) != 0:
+            self.regs.write(rd, self.regs.read(rs))
+        self._emit("cmovlt", OpClass.IALU,
+                   srcs=(_ref_int(rc), _ref_int(rs), _ref_int(rd)),
+                   dsts=(_ref_int(rd),))
+
+    def max_(self, rd: int, ra: int, rb: int) -> None:
+        """``rd = max(ra, rb)`` — modelled as one ALU op (cmov-style)."""
+        self._binop("max", rd, ra, rb, max)
+
+    def min_(self, rd: int, ra: int, rb: int) -> None:
+        """``rd = min(ra, rb)`` — modelled as one ALU op (cmov-style)."""
+        self._binop("min", rd, ra, rb, min)
+
+    def abs_(self, rd: int, ra: int) -> None:
+        """``rd = |ra|`` — modelled as one ALU op."""
+        self.regs.write(rd, abs(self.regs.read(ra)))
+        self._emit("abs", OpClass.IALU, srcs=(_ref_int(ra),), dsts=(_ref_int(rd),))
+
+    def clamp(self, rd: int, ra: int, lo: int, hi: int) -> None:
+        """Clamp ``ra`` into ``[lo, hi]`` — two ALU operations (min + max)."""
+        value = self.regs.read(ra)
+        self.regs.write(rd, max(lo, min(hi, value)))
+        self._emit("clamp_lo", OpClass.IALU, srcs=(_ref_int(ra),), dsts=(_ref_int(rd),))
+        self._emit("clamp_hi", OpClass.IALU, srcs=(_ref_int(rd),), dsts=(_ref_int(rd),))
+
+    # ------------------------------------------------------------------
+    # branches (perfectly predicted in the timing model)
+    # ------------------------------------------------------------------
+
+    def branch(self, rc: int, opcode: str = "bne") -> None:
+        """A conditional branch consuming ``rc``; direction is irrelevant to
+        the timing model (perfect prediction) but the instruction still
+        occupies fetch/issue/commit bandwidth."""
+        self._emit(opcode, OpClass.BRANCH, srcs=(_ref_int(rc),), dsts=())
+
+    def jump(self) -> None:
+        """Unconditional branch (loop back-edge)."""
+        self._emit("br", OpClass.BRANCH, srcs=(), dsts=())
+
+    # ------------------------------------------------------------------
+    # memory
+    # ------------------------------------------------------------------
+
+    def _load(self, opcode: str, rd: int, base: int, offset: int, nbytes: int,
+              signed: bool) -> None:
+        addr = self.regs.read(base) + offset
+        value = (self.memory.read_sint(addr, nbytes) if signed
+                 else self.memory.read_uint(addr, nbytes))
+        self.regs.write(rd, value)
+        self._emit(opcode, OpClass.LOAD, srcs=(_ref_int(base),), dsts=(_ref_int(rd),))
+
+    def _store(self, opcode: str, rs: int, base: int, offset: int, nbytes: int) -> None:
+        addr = self.regs.read(base) + offset
+        self.memory.write_uint(addr, self.regs.read(rs), nbytes)
+        self._emit(opcode, OpClass.STORE, srcs=(_ref_int(rs), _ref_int(base)), dsts=())
+
+    def ldbu(self, rd: int, base: int, offset: int = 0) -> None:
+        """Load unsigned byte."""
+        self._load("ldbu", rd, base, offset, 1, signed=False)
+
+    def ldb(self, rd: int, base: int, offset: int = 0) -> None:
+        """Load signed byte."""
+        self._load("ldb", rd, base, offset, 1, signed=True)
+
+    def ldwu(self, rd: int, base: int, offset: int = 0) -> None:
+        """Load unsigned 16-bit halfword."""
+        self._load("ldwu", rd, base, offset, 2, signed=False)
+
+    def ldw(self, rd: int, base: int, offset: int = 0) -> None:
+        """Load signed 16-bit halfword."""
+        self._load("ldw", rd, base, offset, 2, signed=True)
+
+    def ldl(self, rd: int, base: int, offset: int = 0) -> None:
+        """Load signed 32-bit longword."""
+        self._load("ldl", rd, base, offset, 4, signed=True)
+
+    def ldq(self, rd: int, base: int, offset: int = 0) -> None:
+        """Load 64-bit quadword."""
+        self._load("ldq", rd, base, offset, 8, signed=False)
+
+    def stb(self, rs: int, base: int, offset: int = 0) -> None:
+        """Store byte."""
+        self._store("stb", rs, base, offset, 1)
+
+    def stw(self, rs: int, base: int, offset: int = 0) -> None:
+        """Store 16-bit halfword."""
+        self._store("stw", rs, base, offset, 2)
+
+    def stl(self, rs: int, base: int, offset: int = 0) -> None:
+        """Store 32-bit longword."""
+        self._store("stl", rs, base, offset, 4)
+
+    def stq(self, rs: int, base: int, offset: int = 0) -> None:
+        """Store 64-bit quadword."""
+        self._store("stq", rs, base, offset, 8)
+
+    # ------------------------------------------------------------------
+    # structured loop helper
+    # ------------------------------------------------------------------
+
+    def loop(self, count_reg: int, body, step: int = 1):
+        """Emit a counted loop: run ``body(iteration)`` then the loop-control
+        overhead (decrement + branch) that a compiled scalar loop carries.
+
+        ``count_reg`` must already hold the trip count.  The helper is a
+        convenience used by the scalar kernel variants; the multimedia
+        variants typically use explicit unrolling instead.
+        """
+        trip = self.regs.read(count_reg)
+        iteration = 0
+        while self.regs.read(count_reg) > 0:
+            body(iteration)
+            self.subi(count_reg, count_reg, step)
+            self.branch(count_reg, "bgt")
+            iteration += 1
+            if iteration > trip + 1:  # pragma: no cover - defensive
+                raise RuntimeError("loop failed to terminate")

@@ -1,0 +1,221 @@
+"""Matrix (dimension Y) operation semantics for MOM.
+
+A MOM matrix instruction applies a packed (dimension X) operation to the
+first ``vl`` rows of its matrix-register operands — i.e. it is a vector of
+MMX-like operations.  The helpers here map the single-word semantics from
+:mod:`repro.isa.simdops` across rows, and add the operations that only make
+sense at matrix granularity: strided loads/stores, the matrix transpose and
+the pipelined dimension-Y reductions into packed accumulators.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.common.datatypes import ElementType, unpack_word, pack_word
+from repro.isa import simdops
+from repro.isa.registers import MAX_MATRIX_ROWS
+
+__all__ = [
+    "map_rows",
+    "map_rows_scalar_operand",
+    "transpose",
+    "transpose_pair",
+    "reduce_mul_add",
+    "reduce_add",
+    "reduce_abs_diff_add",
+    "rows_to_matrix",
+    "matrix_to_rows",
+]
+
+
+def map_rows(
+    op: Callable[..., int],
+    a_rows: Sequence[int],
+    b_rows: Sequence[int] | None,
+    vl: int,
+    *args,
+    **kwargs,
+) -> list[int]:
+    """Apply a packed operation row by row over the first ``vl`` rows.
+
+    ``b_rows`` may be ``None`` for unary operations, or a single-word splat
+    (length-1 sequence is *not* broadcast — pass an explicit row list).
+    Rows beyond ``vl`` of the destination are returned as zero, matching a
+    destination register that is fully rewritten by the instruction.
+    """
+    if not 1 <= vl <= MAX_MATRIX_ROWS:
+        raise ValueError(f"vector length {vl} out of range")
+    out = [0] * MAX_MATRIX_ROWS
+    for row in range(vl):
+        if b_rows is None:
+            out[row] = op(a_rows[row], *args, **kwargs)
+        else:
+            out[row] = op(a_rows[row], b_rows[row], *args, **kwargs)
+    return out
+
+
+def map_rows_scalar_operand(
+    op: Callable[..., int],
+    a_rows: Sequence[int],
+    b_word: int,
+    vl: int,
+    *args,
+    **kwargs,
+) -> list[int]:
+    """Apply a packed operation between each row and a broadcast packed word.
+
+    This models MOM's vector-scalar forms (e.g. add the same packed constant
+    to every row), which the paper's example in Figure 2 relies on.
+    """
+    if not 1 <= vl <= MAX_MATRIX_ROWS:
+        raise ValueError(f"vector length {vl} out of range")
+    out = [0] * MAX_MATRIX_ROWS
+    for row in range(vl):
+        out[row] = op(a_rows[row], b_word, *args, **kwargs)
+    return out
+
+
+def transpose(rows: Sequence[int], etype: ElementType, vl: int) -> list[int]:
+    """Matrix transpose of the ``vl`` x ``etype.lanes`` sub-word matrix.
+
+    The paper describes an 8x8 transpose with 8+C cycles of latency; the
+    functional semantics are a plain transpose of the lane matrix.  The
+    result has ``etype.lanes`` valid rows (the new dimension-Y length).
+    """
+    if not 1 <= vl <= MAX_MATRIX_ROWS:
+        raise ValueError(f"vector length {vl} out of range")
+    lanes = np.stack([unpack_word(rows[r], etype) for r in range(vl)])
+    transposed = lanes.T  # shape (etype.lanes, vl)
+    out = [0] * MAX_MATRIX_ROWS
+    for row in range(transposed.shape[0]):
+        padded = np.zeros(etype.lanes, dtype=np.int64)
+        count = min(transposed.shape[1], etype.lanes)
+        padded[:count] = transposed[row, :count]
+        out[row] = pack_word(padded, etype)
+    return out
+
+
+def transpose_pair(
+    lo_rows: Sequence[int],
+    hi_rows: Sequence[int],
+    etype: ElementType,
+    vl: int,
+) -> tuple[list[int], list[int]]:
+    """Transpose a matrix that spans two matrix registers side by side.
+
+    A 16-bit 8x8 matrix occupies two matrix registers (columns 0-3 in the
+    "lo" register, columns 4-7 in "hi").  The paper's transpose instruction
+    operates on the full 8x8 matrix; this helper implements that semantics
+    for a register pair.  The matrix must be square: ``vl == 2 * etype.lanes``.
+    """
+    width = 2 * etype.lanes
+    if vl != width:
+        raise ValueError(
+            f"transpose_pair requires a square matrix (vl == {width}), got vl={vl}"
+        )
+    full = np.empty((vl, width), dtype=np.int64)
+    for row in range(vl):
+        full[row, : etype.lanes] = unpack_word(lo_rows[row], etype)
+        full[row, etype.lanes :] = unpack_word(hi_rows[row], etype)
+    flipped = full.T
+    lo_out = [0] * MAX_MATRIX_ROWS
+    hi_out = [0] * MAX_MATRIX_ROWS
+    for row in range(width):
+        lo_out[row] = pack_word(flipped[row, : etype.lanes], etype)
+        hi_out[row] = pack_word(flipped[row, etype.lanes :], etype)
+    return lo_out, hi_out
+
+
+def rows_to_matrix(rows: Sequence[int], etype: ElementType, vl: int) -> np.ndarray:
+    """Unpack matrix-register rows into a (vl, lanes) NumPy matrix."""
+    return np.stack([unpack_word(rows[r], etype) for r in range(vl)])
+
+
+def matrix_to_rows(matrix: np.ndarray, etype: ElementType) -> list[int]:
+    """Pack a (rows, lanes) matrix into matrix-register words (zero padded)."""
+    out = [0] * MAX_MATRIX_ROWS
+    for row in range(matrix.shape[0]):
+        out[row] = pack_word(matrix[row], etype)
+    return out
+
+
+def reduce_mul_add(
+    acc: np.ndarray,
+    a_rows: Sequence[int],
+    b_rows: Sequence[int],
+    etype: ElementType,
+    vl: int,
+) -> np.ndarray:
+    """Matrix multiply-accumulate reduction over dimension Y.
+
+    ``acc[lane] += sum_over_rows(a[row][lane] * b[row][lane])`` — a single
+    MOM instruction performs the whole dimension-Y reduction, pipelined in
+    hardware (section 3.1), so there is no per-row architectural recurrence.
+    """
+    out = acc.astype(object).copy()
+    for row in range(vl):
+        la = unpack_word(a_rows[row], etype).astype(object)
+        lb = unpack_word(b_rows[row], etype).astype(object)
+        out[: etype.lanes] = out[: etype.lanes] + la * lb
+    return out
+
+
+def reduce_add(
+    acc: np.ndarray, a_rows: Sequence[int], etype: ElementType, vl: int
+) -> np.ndarray:
+    """``acc[lane] += sum_over_rows(a[row][lane])``."""
+    out = acc.astype(object).copy()
+    for row in range(vl):
+        la = unpack_word(a_rows[row], etype).astype(object)
+        out[: etype.lanes] = out[: etype.lanes] + la
+    return out
+
+
+def reduce_abs_diff_add(
+    acc: np.ndarray,
+    a_rows: Sequence[int],
+    b_rows: Sequence[int],
+    etype: ElementType,
+    vl: int,
+) -> np.ndarray:
+    """``acc[lane] += sum_over_rows(|a[row][lane] - b[row][lane]|)``.
+
+    Used by the motion-estimation kernels (sum of absolute differences).
+    """
+    out = acc.astype(object).copy()
+    for row in range(vl):
+        la = unpack_word(a_rows[row], etype).astype(object)
+        lb = unpack_word(b_rows[row], etype).astype(object)
+        out[: etype.lanes] = out[: etype.lanes] + abs(la - lb)
+    return out
+
+
+# Re-exported row-mapped convenience wrappers used by the MOM builder.  Each
+# wrapper fixes the packed operation and leaves element type / saturation to
+# the caller.
+
+def rows_padd(a, b, vl, etype, saturating="wrap"):
+    return map_rows(simdops.padd, a, b, vl, etype, saturating)
+
+
+def rows_psub(a, b, vl, etype, saturating="wrap"):
+    return map_rows(simdops.psub, a, b, vl, etype, saturating)
+
+
+def rows_pmull(a, b, vl, etype):
+    return map_rows(simdops.pmull, a, b, vl, etype)
+
+
+def rows_pmulh(a, b, vl, etype, rounding=False):
+    return map_rows(simdops.pmulh, a, b, vl, etype, rounding)
+
+
+def rows_pavg(a, b, vl, etype):
+    return map_rows(simdops.pavg, a, b, vl, etype)
+
+
+def rows_pabsdiff(a, b, vl, etype):
+    return map_rows(simdops.pabsdiff, a, b, vl, etype)

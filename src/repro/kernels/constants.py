@@ -1,0 +1,73 @@
+"""Fixed-point constants shared by kernel variants and golden references.
+
+Keeping the constants (and the fixed-point scaling conventions) in one place
+guarantees that the scalar, MMX, MDMX and MOM variants of a kernel and its
+NumPy golden reference perform bit-identical arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "IDCT_SHIFT",
+    "idct_basis_q14",
+    "RGB_SHIFT",
+    "Y_COEFFS",
+    "CB_COEFFS",
+    "CR_COEFFS",
+    "RGB_ROUND",
+    "CHROMA_OFFSET",
+]
+
+# ---------------------------------------------------------------------------
+# 8x8 IDCT
+# ---------------------------------------------------------------------------
+
+#: Fixed-point fractional bits of the IDCT basis matrix.
+IDCT_SHIFT = 14
+
+
+def idct_basis_q14(size: int = 8) -> np.ndarray:
+    """The IDCT basis matrix A in Q14 fixed point.
+
+    ``A[i][u] = 0.5 * c_u * cos((2*i + 1) * u * pi / (2*size))`` with
+    ``c_0 = 1/sqrt(2)`` and ``c_u = 1`` otherwise, so that the 2-D inverse
+    transform is ``Y = A @ X @ A.T``.  Entries are scaled by ``2**IDCT_SHIFT``
+    and rounded to integers (all representable in 16 signed bits).
+    """
+    a = np.empty((size, size), dtype=np.float64)
+    for i in range(size):
+        for u in range(size):
+            cu = 1.0 / math.sqrt(2.0) if u == 0 else 1.0
+            a[i, u] = 0.5 * cu * math.cos((2 * i + 1) * u * math.pi / (2 * size))
+    q = np.round(a * (1 << IDCT_SHIFT)).astype(np.int64)
+    # Enforce the even/odd cosine symmetry exactly on the quantised matrix
+    # (A[size-1-i][u] == (-1)**u * A[i][u]); the scalar kernel variant relies
+    # on it to halve its multiply count, and floating-point rounding could
+    # otherwise break bit-exact agreement between the variants.
+    for i in range(size // 2):
+        for u in range(size):
+            sign = 1 if u % 2 == 0 else -1
+            q[size - 1 - i, u] = sign * q[i, u]
+    return q
+
+
+# ---------------------------------------------------------------------------
+# RGB -> YCbCr colour conversion (JPEG encoder, Q14 fixed point)
+# ---------------------------------------------------------------------------
+
+#: Fractional bits of the colour-conversion coefficients.
+RGB_SHIFT = 14
+#: Rounding constant added before the shift.
+RGB_ROUND = 1 << (RGB_SHIFT - 1)
+#: Offset added to the chroma components after descaling.
+CHROMA_OFFSET = 128
+
+#: (R, G, B) coefficients in Q14 — round(x * 16384) of the ITU-R BT.601
+#: conversion weights used by libjpeg.
+Y_COEFFS = (4899, 9617, 1868)
+CB_COEFFS = (-2764, -5428, 8192)
+CR_COEFFS = (8192, -6860, -1332)

@@ -1,0 +1,345 @@
+"""Motion-estimation kernels: sum of absolute / squared differences.
+
+``motion1`` computes the sum of absolute differences (SAD) and ``motion2``
+the sum of squared differences (SSD) between pairs of 16x16 macroblocks —
+the two block-matching metrics the paper takes from the MPEG-2 encoder's
+motion-estimation loop.
+
+Workload layout: ``scale`` macroblock pairs, each stored as a contiguous
+16x16 byte block (row stride 16).  The output is one 32-bit metric value per
+pair.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.common.datatypes import U8, U16, S16, S32, U32
+from repro.kernels.base import Kernel
+from repro.workloads.generators import WorkloadSpec, random_u8_block
+
+__all__ = ["Motion1Kernel", "Motion2Kernel"]
+
+_BLOCK = 16  # macroblock dimension
+_BLOCK_BYTES = _BLOCK * _BLOCK
+
+
+class _MotionKernelBase(Kernel):
+    """Shared workload / memory plumbing for the two motion kernels."""
+
+    benchmark = "mpeg2encode"
+    default_scale = 3
+
+    def make_workload(self, spec: WorkloadSpec) -> Dict[str, Any]:
+        rng = spec.rng()
+        blocks = max(1, spec.scale)
+        cur = np.stack([random_u8_block(rng, _BLOCK, _BLOCK) for _ in range(blocks)])
+        ref = np.stack([random_u8_block(rng, _BLOCK, _BLOCK) for _ in range(blocks)])
+        return {"cur": cur, "ref": ref, "blocks": blocks}
+
+    # -- memory setup shared by every variant --------------------------
+
+    def _setup(self, b, workload) -> tuple[int, int, int]:
+        cur_addr = b.machine.alloc_array(workload["cur"], U8)
+        ref_addr = b.machine.alloc_array(workload["ref"], U8)
+        out_addr = b.machine.alloc_zeros(workload["blocks"], S32)
+        return cur_addr, ref_addr, out_addr
+
+    def _read_output(self, b, out_addr: int, blocks: int) -> np.ndarray:
+        return b.machine.read_array(out_addr, blocks, S32)
+
+
+class Motion1Kernel(_MotionKernelBase):
+    """16x16 sum of absolute differences (MPEG motion estimation)."""
+
+    name = "motion1"
+    description = "Sum of absolute differences between 16x16 macroblocks"
+
+    def reference(self, workload) -> np.ndarray:
+        cur = workload["cur"].astype(np.int64)
+        ref = workload["ref"].astype(np.int64)
+        return np.abs(cur - ref).sum(axis=(1, 2)).astype(np.int64)
+
+    # -- scalar ---------------------------------------------------------
+
+    def build_scalar(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_ACC, R_CNT, R_A, R_B, R_D, R_OUT = 1, 2, 3, 4, 5, 6, 7, 8
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.li(R_ACC, 0)
+            b.li(R_CNT, _BLOCK)
+            for _row in range(_BLOCK):
+                for col in range(_BLOCK):
+                    b.ldbu(R_A, R_CUR, col)
+                    b.ldbu(R_B, R_REF, col)
+                    b.sub(R_D, R_A, R_B)
+                    b.abs_(R_D, R_D)
+                    b.add(R_ACC, R_ACC, R_D)
+                b.addi(R_CUR, R_CUR, _BLOCK)
+                b.addi(R_REF, R_REF, _BLOCK)
+                b.subi(R_CNT, R_CNT, 1)
+                b.branch(R_CNT, "bgt")
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_ACC, R_OUT)
+        return self._read_output(b, out_addr, blocks)
+
+    # -- MMX -------------------------------------------------------------
+
+    def build_mmx(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_OUT, R_CNT, R_SAD = 1, 2, 3, 4, 5
+        MM_ACC = 7
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.li(R_CNT, _BLOCK // 2)
+            b.pzero(MM_ACC)
+            for _pair in range(_BLOCK // 2):  # unrolled by two rows
+                for half in range(2):
+                    off = half * _BLOCK
+                    b.movq_ld(0, R_CUR, off, U8)
+                    b.movq_ld(1, R_CUR, off + 8, U8)
+                    b.movq_ld(2, R_REF, off, U8)
+                    b.movq_ld(3, R_REF, off + 8, U8)
+                    b.psad(4, 0, 2, U8)
+                    b.psad(5, 1, 3, U8)
+                    b.padd(MM_ACC, MM_ACC, 4, U32)
+                    b.padd(MM_ACC, MM_ACC, 5, U32)
+                b.addi(R_CUR, R_CUR, 2 * _BLOCK)
+                b.addi(R_REF, R_REF, 2 * _BLOCK)
+                b.subi(R_CNT, R_CNT, 1)
+                b.branch(R_CNT, "bgt")
+            b.movd_to_int(R_SAD, MM_ACC, 0, S32)
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_SAD, R_OUT)
+        return self._read_output(b, out_addr, blocks)
+
+    # -- MDMX -------------------------------------------------------------
+
+    def build_mdmx(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_OUT, R_CNT, R_SAD = 1, 2, 3, 4, 5
+        ACC = 0
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.li(R_CNT, _BLOCK // 2)
+            b.acc_clear(ACC, U8)
+            for _pair in range(_BLOCK // 2):
+                for half in range(2):
+                    off = half * _BLOCK
+                    b.movq_ld(0, R_CUR, off, U8)
+                    b.movq_ld(1, R_CUR, off + 8, U8)
+                    b.movq_ld(2, R_REF, off, U8)
+                    b.movq_ld(3, R_REF, off + 8, U8)
+                    b.acc_absdiff(ACC, 0, 2, U8)
+                    b.acc_absdiff(ACC, 1, 3, U8)
+                b.addi(R_CUR, R_CUR, 2 * _BLOCK)
+                b.addi(R_REF, R_REF, 2 * _BLOCK)
+                b.subi(R_CNT, R_CNT, 1)
+                b.branch(R_CNT, "bgt")
+            b.acc_read_scalar(R_SAD, ACC, U8)
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_SAD, R_OUT)
+        return self._read_output(b, out_addr, blocks)
+
+    # -- MOM --------------------------------------------------------------
+
+    def build_mom(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_STRIDE, R_CUR_HI, R_REF_HI, R_SAD, R_SAD_HI, R_OUT = (
+            1, 2, 3, 4, 5, 6, 7, 8)
+        ACC_LO, ACC_HI = 0, 1
+        b.li(R_STRIDE, _BLOCK)
+        b.setvl(_BLOCK)
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.addi(R_CUR_HI, R_CUR, 8)
+            b.addi(R_REF_HI, R_REF, 8)
+            # The two column halves reduce into independent accumulators so
+            # their pipelined reductions overlap.
+            b.mom_acc_clear(ACC_LO, U8)
+            b.mom_acc_clear(ACC_HI, U8)
+            b.mom_ld(0, R_CUR, R_STRIDE, U8)
+            b.mom_ld(1, R_CUR_HI, R_STRIDE, U8)
+            b.mom_ld(2, R_REF, R_STRIDE, U8)
+            b.mom_ld(3, R_REF_HI, R_STRIDE, U8)
+            b.mom_macc_absdiff(ACC_LO, 0, 2, U8)
+            b.mom_macc_absdiff(ACC_HI, 1, 3, U8)
+            b.mom_acc_read_scalar(R_SAD, ACC_LO, U8)
+            b.mom_acc_read_scalar(R_SAD_HI, ACC_HI, U8)
+            b.add(R_SAD, R_SAD, R_SAD_HI)
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_SAD, R_OUT)
+        return self._read_output(b, out_addr, blocks)
+
+
+class Motion2Kernel(_MotionKernelBase):
+    """16x16 sum of squared differences (MPEG motion estimation)."""
+
+    name = "motion2"
+    description = "Sum of squared differences between 16x16 macroblocks"
+
+    def reference(self, workload) -> np.ndarray:
+        cur = workload["cur"].astype(np.int64)
+        ref = workload["ref"].astype(np.int64)
+        diff = cur - ref
+        return (diff * diff).sum(axis=(1, 2)).astype(np.int64)
+
+    # -- scalar ---------------------------------------------------------
+
+    def build_scalar(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_ACC, R_CNT, R_A, R_B, R_D, R_SQ, R_OUT = 1, 2, 3, 4, 5, 6, 7, 8, 9
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.li(R_ACC, 0)
+            b.li(R_CNT, _BLOCK)
+            for _row in range(_BLOCK):
+                for col in range(_BLOCK):
+                    b.ldbu(R_A, R_CUR, col)
+                    b.ldbu(R_B, R_REF, col)
+                    b.sub(R_D, R_A, R_B)
+                    b.mul(R_SQ, R_D, R_D)
+                    b.add(R_ACC, R_ACC, R_SQ)
+                b.addi(R_CUR, R_CUR, _BLOCK)
+                b.addi(R_REF, R_REF, _BLOCK)
+                b.subi(R_CNT, R_CNT, 1)
+                b.branch(R_CNT, "bgt")
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_ACC, R_OUT)
+        return self._read_output(b, out_addr, blocks)
+
+    # -- MMX -------------------------------------------------------------
+
+    def build_mmx(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_OUT, R_CNT, R_LO, R_HI = 1, 2, 3, 4, 5, 6
+        MM_ZERO, MM_ACC = 30, 29
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.li(R_CNT, _BLOCK)
+            b.pzero(MM_ZERO)
+            b.pzero(MM_ACC)
+            for _row in range(_BLOCK):
+                for half in range(2):
+                    off = half * 8
+                    b.movq_ld(0, R_CUR, off, U8)
+                    b.movq_ld(1, R_REF, off, U8)
+                    # promote to 16 bits (zero extension)
+                    b.punpckl(2, 0, MM_ZERO, U8)
+                    b.punpckh(3, 0, MM_ZERO, U8)
+                    b.punpckl(4, 1, MM_ZERO, U8)
+                    b.punpckh(5, 1, MM_ZERO, U8)
+                    b.psub(6, 2, 4, S16)
+                    b.psub(7, 3, 5, S16)
+                    b.pmadd(8, 6, 6, S16)
+                    b.pmadd(9, 7, 7, S16)
+                    b.padd(MM_ACC, MM_ACC, 8, S32)
+                    b.padd(MM_ACC, MM_ACC, 9, S32)
+                b.addi(R_CUR, R_CUR, _BLOCK)
+                b.addi(R_REF, R_REF, _BLOCK)
+                b.subi(R_CNT, R_CNT, 1)
+                b.branch(R_CNT, "bgt")
+            b.movd_to_int(R_LO, MM_ACC, 0, S32)
+            b.movd_to_int(R_HI, MM_ACC, 1, S32)
+            b.add(R_LO, R_LO, R_HI)
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_LO, R_OUT)
+        return self._read_output(b, out_addr, blocks)
+
+    # -- MDMX -------------------------------------------------------------
+
+    def build_mdmx(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_OUT, R_CNT, R_SSD = 1, 2, 3, 4, 5
+        MM_ZERO = 30
+        ACC = 0
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.li(R_CNT, _BLOCK)
+            b.pzero(MM_ZERO)
+            b.acc_clear(ACC, S16)
+            for _row in range(_BLOCK):
+                for half in range(2):
+                    off = half * 8
+                    b.movq_ld(0, R_CUR, off, U8)
+                    b.movq_ld(1, R_REF, off, U8)
+                    b.punpckl(2, 0, MM_ZERO, U8)
+                    b.punpckh(3, 0, MM_ZERO, U8)
+                    b.punpckl(4, 1, MM_ZERO, U8)
+                    b.punpckh(5, 1, MM_ZERO, U8)
+                    b.psub(6, 2, 4, S16)
+                    b.psub(7, 3, 5, S16)
+                    b.acc_madd(ACC, 6, 6, S16)
+                    b.acc_madd(ACC, 7, 7, S16)
+                b.addi(R_CUR, R_CUR, _BLOCK)
+                b.addi(R_REF, R_REF, _BLOCK)
+                b.subi(R_CNT, R_CNT, 1)
+                b.branch(R_CNT, "bgt")
+            b.acc_read_scalar(R_SSD, ACC, S16)
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_SSD, R_OUT)
+        return self._read_output(b, out_addr, blocks)
+
+    # -- MOM --------------------------------------------------------------
+
+    def build_mom(self, b, workload) -> np.ndarray:
+        cur_addr, ref_addr, out_addr = self._setup(b, workload)
+        blocks = workload["blocks"]
+        R_CUR, R_REF, R_STRIDE, R_CUR_HI, R_REF_HI, R_SSD, R_SSD_HI, R_OUT = (
+            1, 2, 3, 4, 5, 6, 7, 8)
+        ACC_LO, ACC_HI = 0, 1
+        MR_ZERO = 15
+        b.li(R_STRIDE, _BLOCK)
+        b.setvl(_BLOCK)
+        b.mom_zero(MR_ZERO)
+        for blk in range(blocks):
+            b.li(R_CUR, cur_addr + blk * _BLOCK_BYTES)
+            b.li(R_REF, ref_addr + blk * _BLOCK_BYTES)
+            b.addi(R_CUR_HI, R_CUR, 8)
+            b.addi(R_REF_HI, R_REF, 8)
+            b.mom_acc_clear(ACC_LO, S16)
+            b.mom_acc_clear(ACC_HI, S16)
+            b.mom_ld(0, R_CUR, R_STRIDE, U8)
+            b.mom_ld(1, R_CUR_HI, R_STRIDE, U8)
+            b.mom_ld(2, R_REF, R_STRIDE, U8)
+            b.mom_ld(3, R_REF_HI, R_STRIDE, U8)
+            # promote to 16 bits, row-wise
+            b.mom_punpckl(4, 0, MR_ZERO, U8)
+            b.mom_punpckh(5, 0, MR_ZERO, U8)
+            b.mom_punpckl(6, 1, MR_ZERO, U8)
+            b.mom_punpckh(7, 1, MR_ZERO, U8)
+            b.mom_punpckl(8, 2, MR_ZERO, U8)
+            b.mom_punpckh(9, 2, MR_ZERO, U8)
+            b.mom_punpckl(10, 3, MR_ZERO, U8)
+            b.mom_punpckh(11, 3, MR_ZERO, U8)
+            b.mom_psub(4, 4, 8, S16)
+            b.mom_psub(5, 5, 9, S16)
+            b.mom_psub(6, 6, 10, S16)
+            b.mom_psub(7, 7, 11, S16)
+            b.mom_macc_madd(ACC_LO, 4, 4, S16)
+            b.mom_macc_madd(ACC_HI, 5, 5, S16)
+            b.mom_macc_madd(ACC_LO, 6, 6, S16)
+            b.mom_macc_madd(ACC_HI, 7, 7, S16)
+            b.mom_acc_read_scalar(R_SSD, ACC_LO, S16)
+            b.mom_acc_read_scalar(R_SSD_HI, ACC_HI, S16)
+            b.add(R_SSD, R_SSD, R_SSD_HI)
+            b.li(R_OUT, out_addr + blk * 4)
+            b.stl(R_SSD, R_OUT)
+        return self._read_output(b, out_addr, blocks)

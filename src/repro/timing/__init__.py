@@ -1,0 +1,28 @@
+"""Trace-driven out-of-order timing model.
+
+This package plays the role of the paper's Jinks simulator: an out-of-order
+superscalar core (MIPS R10K-like) extended with a multimedia register file
+and dedicated multimedia/vector functional units, fed by dynamic instruction
+traces and an idealized fixed-latency memory system.
+
+The model is an *interval-style* out-of-order approximation: instructions are
+processed in program order and their rename / issue / complete / commit times
+are computed subject to dataflow dependences and resource constraints
+(fetch-rename-commit bandwidth, ROB and issue-queue capacity, physical
+registers, functional units and memory ports).  Vector and matrix
+instructions occupy their functional unit / memory port for
+``ceil(VL / lanes)`` cycles and deliver their result when the last element
+completes.
+"""
+
+from repro.timing.config import MachineConfig, WAY_CONFIGS
+from repro.timing.core import OutOfOrderCore, simulate_trace
+from repro.timing.results import SimResult
+
+__all__ = [
+    "MachineConfig",
+    "WAY_CONFIGS",
+    "OutOfOrderCore",
+    "simulate_trace",
+    "SimResult",
+]

@@ -1,0 +1,297 @@
+"""Interval-style out-of-order core model.
+
+Instructions from a trace are processed in program order; for each one the
+model computes
+
+* ``rename`` time — bounded by in-order fetch/rename bandwidth, ROB space,
+  issue-queue space in the instruction's domain and rename head-room of each
+  destination register file;
+* ``ready`` time — the dataflow constraint (all source registers ready);
+* ``issue`` time — bounded by a free functional unit / memory port, issue
+  bandwidth and the ready time;
+* ``complete`` time — issue + execution latency + (occupancy - 1) for
+  multi-cycle vector/matrix instructions;
+* ``commit`` time — in-order, bounded by commit bandwidth.
+
+This is the standard interval approximation of an out-of-order pipeline: it
+captures dataflow ILP, structural hazards and the latency-hiding ability of
+the instruction window without a cycle-by-cycle event loop, which keeps the
+pure-Python model fast enough to sweep the paper's full parameter space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+from repro.isa.opclasses import OpClass, RegFile
+from repro.timing.config import MachineConfig
+from repro.timing.resources import BandwidthLimiter, FunctionalUnitPool, SlotPool
+from repro.timing.results import SimResult
+from repro.trace.container import Trace
+from repro.trace.instruction import DynInstr, RegRef
+
+__all__ = ["OutOfOrderCore", "simulate_trace"]
+
+
+# Domain names used for issue queues.
+_DOMAIN_INT = "int"
+_DOMAIN_MEM = "mem"
+_DOMAIN_MEDIA = "media"
+
+
+def _domain_of(opclass: OpClass) -> str:
+    if opclass.is_memory:
+        return _DOMAIN_MEM
+    if opclass.is_media:
+        return _DOMAIN_MEDIA
+    return _DOMAIN_INT
+
+
+class OutOfOrderCore:
+    """One simulated out-of-order core instance.
+
+    A core instance is single-use: create one per (trace, configuration)
+    pair, or use the :func:`simulate_trace` convenience wrapper.
+    """
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+
+        # Functional units.
+        self._int_alu = FunctionalUnitPool("ialu", config.num_int_alu)
+        self._int_mul = FunctionalUnitPool("imul", config.num_int_mul)
+        self._mem_ports = FunctionalUnitPool("mem", config.num_mem_ports)
+        self._media_fu = FunctionalUnitPool("media", config.num_media_fu)
+
+        # Bandwidth.
+        self._issue_bw = BandwidthLimiter(config.issue_width)
+
+        # Issue queues.
+        self._queues = {
+            _DOMAIN_INT: SlotPool("intq", config.int_queue_size),
+            _DOMAIN_MEM: SlotPool("memq", config.mem_queue_size),
+            _DOMAIN_MEDIA: SlotPool("mediaq", config.media_queue_size),
+        }
+
+        # Rename head-room per register file (physical minus architectural).
+        self._rename_pools = {
+            RegFile.INT: SlotPool(
+                "int-regs", config.phys_int_regs - config.arch_int_regs
+            ),
+            RegFile.MEDIA: SlotPool(
+                "media-regs", config.phys_media_regs - config.arch_media_regs
+            ),
+            RegFile.MATRIX: SlotPool(
+                "matrix-regs", config.phys_matrix_regs - config.arch_matrix_regs
+            ),
+            RegFile.ACC: SlotPool(
+                "acc-regs", config.phys_acc_regs - config.arch_acc_regs
+            ),
+            # The vector-length register is renamed out of a tiny pool; it is
+            # never a bottleneck but keeping it here makes the dependence
+            # handling uniform.
+            RegFile.VL: SlotPool("vl-regs", 8),
+        }
+
+        # Register readiness (architectural registers all ready at cycle 0).
+        self._reg_ready: Dict[RegRef, int] = {}
+
+        # Per-instruction pipeline times (ring buffers would do; lists are
+        # simpler and the traces are modest).
+        self._rename_times: list[int] = []
+        self._commit_times: list[int] = []
+
+        self._stalls: Dict[str, int] = {
+            "rob": 0,
+            "issue_queue": 0,
+            "rename_regs": 0,
+            "fetch_bw": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def _fu_for(self, instr: DynInstr) -> FunctionalUnitPool:
+        opclass = instr.opclass
+        if opclass.is_memory:
+            return self._mem_ports
+        if opclass is OpClass.IMUL:
+            return self._int_mul
+        if opclass.is_media:
+            return self._media_fu
+        return self._int_alu
+
+    def _occupancy_of(self, instr: DynInstr) -> int:
+        """Cycles the instruction occupies its functional unit or port."""
+        cfg = self.config
+        if instr.non_pipelined:
+            # Non-pipelined matrix ops (transpose) hold the unit for their
+            # whole latency.
+            return cfg.latency_of(instr.opclass)
+        if instr.opclass.is_memory:
+            if instr.vly > 1:
+                return math.ceil(instr.vly / cfg.mem_port_width)
+            return 1
+        if instr.opclass.is_media and instr.vly > 1:
+            return math.ceil(instr.vly / cfg.media_lanes)
+        return 1
+
+    def _completion_latency(self, instr: DynInstr, occupancy: int) -> int:
+        """Cycles from issue to result availability."""
+        cfg = self.config
+        base = cfg.latency_of(instr.opclass)
+        if instr.opclass.is_store:
+            return 1
+        latency = base + (occupancy - 1)
+        if (
+            instr.opclass is OpClass.MEDIA_ACC
+            and instr.vly > 1
+        ):
+            # MOM pipelined dimension-Y reduction: extra fixed latency for the
+            # reduction tree (paper section 3.1).
+            latency += cfg.mom_reduction_latency
+        return latency
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace, record_timeline: bool = False) -> SimResult:
+        """Simulate ``trace`` and return the timing result.
+
+        With ``record_timeline`` the per-instruction pipeline times are kept
+        in :attr:`timeline` as ``(opcode, rename, ready, issue, complete,
+        commit)`` tuples — useful for debugging and for the micro-level unit
+        tests of the timing model.
+        """
+        cfg = self.config
+        rename_times = self._rename_times
+        commit_times = self._commit_times
+        reg_ready = self._reg_ready
+        self.timeline: list[tuple] = []
+
+        total_ops = 0
+        last_commit = 0
+
+        for i, instr in enumerate(trace):
+            total_ops += instr.ops
+
+            # ---- rename ------------------------------------------------
+            candidate = rename_times[-1] if rename_times else 0
+            if i >= cfg.fetch_width:
+                bw_bound = rename_times[i - cfg.fetch_width] + 1
+                if bw_bound > candidate:
+                    self._stalls["fetch_bw"] += bw_bound - candidate
+                    candidate = bw_bound
+            if i >= cfg.rob_size:
+                rob_bound = commit_times[i - cfg.rob_size]
+                if rob_bound > candidate:
+                    self._stalls["rob"] += rob_bound - candidate
+                    candidate = rob_bound
+
+            domain = _domain_of(instr.opclass)
+            queue = self._queues[domain]
+            q_bound = queue.constrain(candidate)
+            if q_bound > candidate:
+                self._stalls["issue_queue"] += q_bound - candidate
+                candidate = q_bound
+
+            for dst in instr.dsts:
+                pool = self._rename_pools.get(dst.file)
+                if pool is None:
+                    continue
+                r_bound = pool.constrain(candidate)
+                if r_bound > candidate:
+                    self._stalls["rename_regs"] += r_bound - candidate
+                    candidate = r_bound
+
+            rename_time = candidate
+            rename_times.append(rename_time)
+
+            # ---- ready (dataflow) ---------------------------------------
+            ready = rename_time + 1
+            for src in instr.srcs:
+                t = reg_ready.get(src, 0)
+                if t > ready:
+                    ready = t
+
+            # ---- issue ---------------------------------------------------
+            # The instruction needs a functional unit (or memory port) for its
+            # whole occupancy window and one issue slot in the start cycle;
+            # iterate to a fixed point that satisfies both.
+            fu = self._fu_for(instr)
+            occupancy = self._occupancy_of(instr)
+            start = ready
+            while True:
+                fu_start = fu.find_start(start, occupancy)
+                bw_start = self._issue_bw.probe(fu_start)
+                if bw_start == fu_start:
+                    issue_time = fu_start
+                    break
+                start = bw_start
+            fu.reserve(issue_time, occupancy)
+            self._issue_bw.next_slot(issue_time)
+            queue.occupy(issue_time)
+
+            # ---- complete ------------------------------------------------
+            complete = issue_time + self._completion_latency(instr, occupancy)
+            acc_forward = None
+            if instr.opclass is OpClass.MEDIA_ACC and instr.vly <= 1:
+                # MDMX-style accumulate: the accumulator feedback path lives in
+                # the final adder stage, so a dependent accumulate can issue the
+                # next cycle even though the full result (as read out into an
+                # ordinary register) takes the whole latency.  This is the
+                # "artificial recurrence" of section 3.1 at its real cost of
+                # one cycle per accumulate.
+                acc_forward = issue_time + occupancy
+            for dst in instr.dsts:
+                if acc_forward is not None and dst.file is RegFile.ACC:
+                    reg_ready[dst] = acc_forward
+                else:
+                    reg_ready[dst] = complete
+
+            # ---- commit --------------------------------------------------
+            commit = complete + 1
+            if commit_times:
+                commit = max(commit, commit_times[-1])
+            if i >= cfg.commit_width:
+                commit = max(commit, commit_times[i - cfg.commit_width] + 1)
+            commit_times.append(commit)
+            last_commit = commit
+
+            for dst in instr.dsts:
+                pool = self._rename_pools.get(dst.file)
+                if pool is not None:
+                    pool.occupy(commit)
+
+            if record_timeline:
+                self.timeline.append(
+                    (instr.opcode, rename_time, ready, issue_time, complete, commit)
+                )
+
+        return SimResult(
+            cycles=last_commit,
+            instructions=len(trace),
+            operations=total_ops,
+            kernel=trace.name,
+            isa=trace.isa,
+            config_name=cfg.name,
+            mem_latency=cfg.mem_latency,
+            issue_width=cfg.issue_width,
+            stall_breakdown=dict(self._stalls),
+        )
+
+
+def simulate_trace(trace: Trace, config: Optional[MachineConfig] = None) -> SimResult:
+    """Simulate a trace on a (fresh) out-of-order core.
+
+    Parameters
+    ----------
+    trace:
+        Dynamic instruction trace produced by a kernel builder.
+    config:
+        Machine configuration; defaults to the paper's 4-way core with
+        1-cycle memory latency.
+    """
+    if config is None:
+        config = MachineConfig.for_way(4)
+    core = OutOfOrderCore(config)
+    return core.run(trace)

@@ -1,0 +1,42 @@
+"""Trace container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+from repro.trace.instruction import DynInstr
+
+
+class Trace:
+    """An ordered sequence of dynamic instructions emitted by one kernel run.
+
+    The container is append-only; the timing model iterates it in program
+    order (the front end of the simulated core is a perfect trace fetcher).
+    """
+
+    def __init__(self, name: str = "", isa: str = "") -> None:
+        self.name = name
+        self.isa = isa
+        self._instrs: List[DynInstr] = []
+
+    def append(self, instr: DynInstr) -> None:
+        self._instrs.append(instr)
+
+    def extend(self, instrs: Iterable[DynInstr]) -> None:
+        self._instrs.extend(instrs)
+
+    def __len__(self) -> int:
+        return len(self._instrs)
+
+    def __iter__(self) -> Iterator[DynInstr]:
+        return iter(self._instrs)
+
+    def __getitem__(self, index):
+        return self._instrs[index]
+
+    @property
+    def instructions(self) -> List[DynInstr]:
+        return self._instrs
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace(name={self.name!r}, isa={self.isa!r}, n={len(self)})"

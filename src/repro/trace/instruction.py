@@ -1,0 +1,94 @@
+"""Dynamic instruction records.
+
+A :class:`DynInstr` is the unit of exchange between the functional front end
+and the timing model.  It deliberately contains *no* data values — only the
+information an out-of-order core needs to schedule the instruction (operand
+register identities, functional-unit class, vector lengths) plus the
+element-operation count used by the paper's OPI / R metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.isa.opclasses import OpClass, RegFile
+
+
+@dataclass(frozen=True)
+class RegRef:
+    """A reference to one architectural register (file + index)."""
+
+    file: RegFile
+    index: int
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        prefix = {
+            RegFile.INT: "r",
+            RegFile.MEDIA: "mm",
+            RegFile.ACC: "acc",
+            RegFile.MATRIX: "mr",
+            RegFile.VL: "vl",
+        }[self.file]
+        return f"{prefix}{self.index}"
+
+
+@dataclass(frozen=True)
+class DynInstr:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    opcode:
+        Mnemonic, e.g. ``"mom_paddb"`` — used for reporting and debugging.
+    opclass:
+        Functional-unit class; drives issue-queue selection and latency.
+    isa:
+        Which ISA variant emitted the instruction (``"scalar"``, ``"mmx"``,
+        ``"mdmx"`` or ``"mom"``); purely informational.
+    srcs / dsts:
+        Architectural source and destination register references.
+    ops:
+        Number of elemental operations the instruction performs — the paper
+        counts a packed instruction working on a VLy x VLx matrix as
+        VLy * VLx operations.  Overhead instructions (address arithmetic,
+        loop control, pack/unpack) still count as their elemental work.
+    vlx / vly:
+        Sub-word lane count (dimension X) and vector length (dimension Y) of
+        the instruction; both are 1 for scalar instructions and vly is 1 for
+        MMX/MDMX instructions.
+    is_vector:
+        True for SIMD instructions (any instruction with vlx > 1 or vly > 1);
+        used for the paper's F metric.
+    non_pipelined:
+        True for operations that block their functional unit for the whole
+        latency (the MOM transpose).
+    """
+
+    opcode: str
+    opclass: OpClass
+    isa: str
+    srcs: Tuple[RegRef, ...] = field(default_factory=tuple)
+    dsts: Tuple[RegRef, ...] = field(default_factory=tuple)
+    ops: int = 1
+    vlx: int = 1
+    vly: int = 1
+    is_vector: bool = False
+    non_pipelined: bool = False
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass.is_memory
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass.is_store
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        dsts = ",".join(str(d) for d in self.dsts)
+        srcs = ",".join(str(s) for s in self.srcs)
+        return f"{self.opcode} {dsts} <- {srcs} (vl={self.vly}x{self.vlx})"

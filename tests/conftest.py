@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.frontend.builders import make_builder
+from repro.frontend.machine import FunctionalMachine
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+
+@pytest.fixture
+def machine() -> FunctionalMachine:
+    """A fresh functional machine."""
+    return FunctionalMachine()
+
+
+@pytest.fixture
+def scalar_builder(machine):
+    return make_builder("scalar", machine, name="test")
+
+
+@pytest.fixture
+def mmx_builder(machine):
+    return make_builder("mmx", machine, name="test")
+
+
+@pytest.fixture
+def mdmx_builder(machine):
+    return make_builder("mdmx", machine, name="test")
+
+
+@pytest.fixture
+def mom_builder(machine):
+    return make_builder("mom", machine, name="test")
+
+
+@pytest.fixture
+def way4_config() -> MachineConfig:
+    return MachineConfig.for_way(4)
+
+
+@pytest.fixture
+def tiny_spec() -> WorkloadSpec:
+    """Smallest workload used for cross-variant correctness tests."""
+    return WorkloadSpec(scale=1, seed=7)

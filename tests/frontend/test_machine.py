@@ -1,0 +1,100 @@
+"""Tests for the functional machine's memory and state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.datatypes import S16, S32, U8, U16
+from repro.frontend.machine import FunctionalMachine, Memory
+
+
+class TestMemoryAllocation:
+    def test_alloc_is_aligned(self):
+        mem = Memory()
+        addr = mem.alloc(10, align=64)
+        assert addr % 64 == 0
+        addr2 = mem.alloc(10, align=64)
+        assert addr2 >= addr + 10
+
+    def test_alloc_exhaustion(self):
+        mem = Memory(size=256)
+        with pytest.raises(MemoryError):
+            mem.alloc(1024)
+
+    def test_address_zero_never_allocated(self):
+        mem = Memory()
+        assert mem.alloc(8) != 0
+
+
+class TestMemoryAccess:
+    def test_bytes_roundtrip(self):
+        mem = Memory()
+        mem.write_bytes(128, b"hello123")
+        assert mem.read_bytes(128, 8) == b"hello123"
+
+    def test_uint_roundtrip(self):
+        mem = Memory()
+        mem.write_uint(64, 0xDEADBEEF, 4)
+        assert mem.read_uint(64, 4) == 0xDEADBEEF
+
+    def test_signed_read(self):
+        mem = Memory()
+        mem.write_uint(64, -5, 2)
+        assert mem.read_sint(64, 2) == -5
+        assert mem.read_uint(64, 2) == 0xFFFB
+
+    def test_bounds_check(self):
+        mem = Memory(size=128)
+        with pytest.raises(IndexError):
+            mem.read_bytes(120, 16)
+        with pytest.raises(IndexError):
+            mem.write_bytes(-1, b"x")
+
+
+class TestArrayHelpers:
+    @pytest.mark.parametrize("etype", [U8, S16, U16, S32], ids=lambda t: t.name)
+    def test_roundtrip(self, etype):
+        mem = Memory()
+        values = np.array([etype.min, etype.max, 0, 1, 2, 3, 4, 5])
+        addr = mem.alloc_array(values, etype)
+        back = mem.read_array(addr, len(values), etype)
+        assert np.array_equal(back, values)
+
+    def test_2d_array_flattens_row_major(self):
+        mem = Memory()
+        matrix = np.arange(12).reshape(3, 4)
+        addr = mem.alloc_array(matrix, U8)
+        flat = mem.read_array(addr, 12, U8)
+        assert np.array_equal(flat, matrix.reshape(-1))
+
+    def test_alloc_zeros(self):
+        mem = Memory()
+        addr = mem.alloc_zeros(16, S16)
+        assert np.array_equal(mem.read_array(addr, 16, S16), np.zeros(16))
+
+    @given(values=st.lists(st.integers(min_value=-32768, max_value=32767),
+                           min_size=1, max_size=64))
+    def test_s16_roundtrip_property(self, values):
+        mem = Memory()
+        addr = mem.alloc_array(np.array(values), S16)
+        assert list(mem.read_array(addr, len(values), S16)) == values
+
+
+class TestFunctionalMachine:
+    def test_register_files_present(self):
+        m = FunctionalMachine()
+        assert m.int_regs.num_regs == 32
+        assert m.media_regs.num_regs == 32
+        assert m.mdmx_accs.num_accs == 4
+        assert m.matrix_regs.num_regs == 16
+        assert m.mom_accs.num_accs == 2
+        assert m.vector_control.vl >= 1
+
+    def test_passthrough_helpers(self):
+        m = FunctionalMachine()
+        addr = m.alloc_array(np.array([1, 2, 3]), U8)
+        assert list(m.read_array(addr, 3, U8)) == [1, 2, 3]
+        m.media_regs.write(0, 0x1234)
+        assert m.read_media_word(0) == 0x1234

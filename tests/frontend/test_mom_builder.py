@@ -1,0 +1,220 @@
+"""Tests for the MOM matrix builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.datatypes import S16, U8
+from repro.isa.opclasses import OpClass, RegFile
+from repro.trace.instruction import RegRef
+
+
+def matrix_lanes(builder, reg, etype, rows):
+    return builder.mr.read_lanes(reg, etype, rows)
+
+
+class TestVectorLength:
+    def test_setvl(self, mom_builder):
+        b = mom_builder
+        b.setvl(5)
+        assert b.vl == 5
+        assert b.trace[-1].dsts[0].file is RegFile.VL
+
+    def test_setvl_range_check(self, mom_builder):
+        with pytest.raises(ValueError):
+            mom_builder.setvl(0)
+
+    def test_matrix_ops_record_vl_dependence(self, mom_builder):
+        b = mom_builder
+        b.setvl(4)
+        b.mom_zero(0)
+        assert RegRef(RegFile.VL, 0) in b.trace[-1].srcs
+        assert b.trace[-1].vly == 4
+
+
+class TestMatrixMemory:
+    def test_strided_load_store(self, mom_builder):
+        b = mom_builder
+        data = np.arange(4 * 16).reshape(4, 16)  # 4 rows with stride 16 bytes
+        addr = b.machine.alloc_array(data, U8)
+        out = b.machine.memory.alloc(4 * 16)
+        b.setvl(4)
+        b.li(1, addr)
+        b.li(2, 16)      # stride
+        b.li(3, out)
+        b.li(4, 8)       # output stride
+        b.mom_ld(0, 1, 2, U8)
+        lanes = matrix_lanes(b, 0, U8, 4)
+        assert np.array_equal(lanes, data[:, :8])
+        b.mom_st(0, 3, 4, U8)
+        assert np.array_equal(
+            b.machine.read_array(out, 32, U8).reshape(4, 8), data[:, :8]
+        )
+
+    def test_load_metadata(self, mom_builder):
+        b = mom_builder
+        data = np.zeros((6, 8))
+        addr = b.machine.alloc_array(data, U8)
+        b.setvl(6)
+        b.li(1, addr)
+        b.li(2, 8)
+        b.mom_ld(0, 1, 2, U8)
+        instr = b.trace[-1]
+        assert instr.opclass is OpClass.MEDIA_LOAD
+        assert instr.vly == 6 and instr.vlx == 8 and instr.ops == 48
+        assert instr.is_vector
+
+    def test_load_const_matrix(self, mom_builder):
+        b = mom_builder
+        b.setvl(3)
+        b.mom_load_const(2, [[1, 2, 3, 4], [5, 6, 7, 8], [9, 10, 11, 12]], S16)
+        lanes = matrix_lanes(b, 2, S16, 3)
+        assert lanes[2][3] == 12
+        assert b.trace[-1].vly == 3
+
+
+class TestMatrixArithmetic:
+    def test_row_mapped_add(self, mom_builder):
+        b = mom_builder
+        b.setvl(2)
+        b.mom_load_const(0, [[1, 2, 3, 4], [5, 6, 7, 8]], S16)
+        b.mom_load_const(1, [[10, 10, 10, 10], [20, 20, 20, 20]], S16)
+        b.mom_padd(2, 0, 1, S16)
+        lanes = matrix_lanes(b, 2, S16, 2)
+        assert list(lanes[0]) == [11, 12, 13, 14]
+        assert list(lanes[1]) == [25, 26, 27, 28]
+
+    def test_rowbcast_operand(self, mom_builder):
+        b = mom_builder
+        b.setvl(2)
+        b.mom_load_const(0, [[1, 1, 1, 1], [2, 2, 2, 2]], S16)
+        b.mom_load_const(1, [[5, 6, 7, 8]], S16)
+        b.mom_padd(2, 0, 1, S16, rowbcast=True)
+        lanes = matrix_lanes(b, 2, S16, 2)
+        assert list(lanes[0]) == [6, 7, 8, 9]
+        assert list(lanes[1]) == [7, 8, 9, 10]
+
+    def test_splat_and_mul(self, mom_builder):
+        b = mom_builder
+        b.setvl(3)
+        b.li(1, 4)
+        b.mom_splat(0, 1, S16)
+        b.mom_load_const(1, [[1, 2, 3, 4]] * 3, S16)
+        b.mom_pmull(2, 1, 0, S16)
+        lanes = matrix_lanes(b, 2, S16, 3)
+        assert list(lanes[0]) == [4, 8, 12, 16]
+
+    def test_saturating_pack(self, mom_builder):
+        b = mom_builder
+        b.setvl(1)
+        b.mom_load_const(0, [[300, -5, 10, 255]], S16)
+        b.mom_load_const(1, [[1, 2, 3, 4]], S16)
+        b.mom_packus(2, 0, 1, S16)
+        lanes = matrix_lanes(b, 2, U8, 1)
+        assert list(lanes[0]) == [255, 0, 10, 255, 1, 2, 3, 4]
+
+    def test_shift_scale(self, mom_builder):
+        b = mom_builder
+        b.setvl(1)
+        b.mom_load_const(0, [[5, -5, 4, 0]], S16)
+        b.mom_pshift_scale(1, 0, 1, S16)
+        assert list(matrix_lanes(b, 1, S16, 1)[0]) == [3, -2, 2, 0]
+
+    def test_extract(self, mom_builder):
+        b = mom_builder
+        b.setvl(2)
+        b.mom_load_const(0, [[1, 2, 3, 4], [5, 6, 7, 8]], S16)
+        b.mom_extract(5, 0, 1, 2, S16)
+        assert b.regs.read(5) == 7
+
+
+class TestTranspose:
+    def test_single_register_byte_transpose(self, mom_builder):
+        b = mom_builder
+        matrix = np.arange(64).reshape(8, 8)
+        b.setvl(8)
+        b.mom_load_const(0, matrix, U8)
+        b.mom_transpose(1, 0, U8)
+        lanes = matrix_lanes(b, 1, U8, 8)
+        assert np.array_equal(lanes, matrix.T)
+        assert b.trace[-1].non_pipelined
+        assert b.trace[-1].opclass is OpClass.MATRIX_MISC
+
+    def test_pair_transpose_16bit(self, mom_builder):
+        b = mom_builder
+        matrix = np.arange(64).reshape(8, 8) - 20
+        b.setvl(8)
+        b.mom_load_const(0, matrix[:, :4], S16)
+        b.mom_load_const(1, matrix[:, 4:], S16)
+        b.mom_transpose_pair(2, 3, 0, 1, S16)
+        result = np.hstack([matrix_lanes(b, 2, S16, 8), matrix_lanes(b, 3, S16, 8)])
+        assert np.array_equal(result, matrix.T)
+
+
+class TestMatrixAccumulators:
+    def test_matrix_dot_product(self, mom_builder):
+        b = mom_builder
+        b.setvl(4)
+        a = [[1, 2, 3, 4]] * 4
+        c = [[2, 2, 2, 2]] * 4
+        b.mom_load_const(0, a, S16)
+        b.mom_load_const(1, c, S16)
+        b.mom_acc_clear(0, S16)
+        b.mom_macc_madd(0, 0, 1, S16)
+        b.mom_acc_read_scalar(5, 0, S16)
+        assert b.regs.read(5) == 4 * (2 + 4 + 6 + 8)
+
+    def test_macc_add_and_absdiff(self, mom_builder):
+        b = mom_builder
+        b.setvl(2)
+        b.mom_load_const(0, [[1, 2, 3, 4], [5, 6, 7, 8]], S16)
+        b.mom_acc_clear(1, S16)
+        b.mom_macc_add(1, 0, S16)
+        b.mom_acc_read_scalar(6, 1, S16)
+        assert b.regs.read(6) == 36
+        b.mom_load_const(2, [[10, 0, 0, 0, 0, 0, 0, 0]] * 2, U8)
+        b.mom_load_const(3, [[0, 0, 0, 0, 0, 0, 0, 0]] * 2, U8)
+        b.mom_acc_clear(0, U8)
+        b.mom_macc_absdiff(0, 2, 3, U8)
+        b.mom_acc_read_scalar(7, 0, U8)
+        assert b.regs.read(7) == 20
+
+    def test_acc_read_into_matrix_row(self, mom_builder):
+        b = mom_builder
+        b.setvl(2)
+        b.mom_load_const(0, [[100, 0, 0, 0], [100, 0, 0, 0]], S16)
+        b.mom_load_const(1, [[3, 0, 0, 0], [5, 0, 0, 0]], S16)
+        b.mom_acc_clear(0, S16)
+        b.mom_macc_madd(0, 0, 1, S16)
+        b.mom_acc_read(4, 0, S16, shift=0, row=3)
+        assert matrix_lanes(b, 4, S16, 4)[3][0] == 800
+
+    def test_reduction_metadata(self, mom_builder):
+        b = mom_builder
+        b.setvl(8)
+        b.mom_zero(0)
+        b.mom_zero(1)
+        b.mom_acc_clear(0, S16)
+        b.mom_macc_madd(0, 0, 1, S16)
+        instr = b.trace[-1]
+        assert instr.opclass is OpClass.MEDIA_ACC
+        assert instr.vly == 8 and instr.ops == 32
+        # one matrix instruction performs the whole dimension-Y reduction
+        acc_refs = [r for r in instr.srcs if r.file is RegFile.ACC]
+        assert acc_refs
+
+
+class TestMOMTraceProperties:
+    def test_isa_label(self, mom_builder):
+        b = mom_builder
+        b.setvl(2)
+        b.mom_zero(0)
+        assert b.trace.isa == "mom"
+
+    def test_mom_mov(self, mom_builder):
+        b = mom_builder
+        b.setvl(2)
+        b.mom_load_const(0, [[1, 2, 3, 4], [5, 6, 7, 8]], S16)
+        b.mom_mov(1, 0)
+        assert b.mr.read(1)[:2] == b.mr.read(0)[:2]

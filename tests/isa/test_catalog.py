@@ -1,0 +1,55 @@
+"""Tests for the instruction-set catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.catalog import (
+    builder_operations,
+    catalog_summary,
+    instruction_catalog,
+    media_operations,
+)
+
+
+class TestCatalog:
+    def test_all_four_isas_present(self):
+        catalog = instruction_catalog()
+        assert set(catalog) == {"scalar", "mmx", "mdmx", "mom"}
+
+    def test_isa_richness_ordering(self):
+        """Each richer ISA exposes strictly more operations, mirroring the
+        paper's 67 (MMX) / 88 (MDMX) / 121 (MOM) emulated-instruction counts."""
+        summary = catalog_summary()
+        assert summary["scalar"] < summary["mmx"] < summary["mdmx"]
+        assert summary["mom"] > summary["scalar"]
+
+    def test_known_operations_listed(self):
+        assert "padd" in builder_operations("mmx")
+        assert "acc_madd" in builder_operations("mdmx")
+        assert "acc_madd" not in builder_operations("mmx")
+        assert "mom_macc_madd" in builder_operations("mom")
+        assert "mom_transpose" in builder_operations("mom")
+        assert "ldq" in builder_operations("scalar")
+
+    def test_media_operations_exclude_scalar_core(self):
+        mom_media = media_operations("mom")
+        assert "mom_ld" in mom_media
+        assert "addi" not in mom_media
+        assert media_operations("scalar") == []
+
+    def test_entries_have_documentation(self):
+        catalog = instruction_catalog()
+        undocumented = [e.name for entries in catalog.values() for e in entries
+                        if not e.doc]
+        assert not undocumented, f"undocumented operations: {undocumented}"
+
+    def test_mom_covers_the_papers_instruction_categories(self):
+        """Section 3 of the paper: memory, arithmetic/logic, and matrix
+        special instructions (accumulators, transpose) must all be present."""
+        ops = set(builder_operations("mom"))
+        assert {"mom_ld", "mom_st"} <= ops                      # memory
+        assert {"mom_padd", "mom_pmull", "mom_pand"} <= ops     # arithmetic/logic
+        assert {"mom_macc_madd", "mom_acc_read"} <= ops         # accumulators
+        assert {"mom_transpose", "mom_transpose_pair"} <= ops   # matrix management
+        assert "setvl" in ops                                    # vector length

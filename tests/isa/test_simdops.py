@@ -1,0 +1,264 @@
+"""Tests of the packed (sub-word) operation semantics.
+
+Every operation is checked against a straightforward NumPy lane-level
+re-implementation, plus property-based tests of the algebraic facts kernels
+rely on (commutativity, bounds, pack/unpack inverses).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.datatypes import (
+    S16,
+    S32,
+    U8,
+    U16,
+    U32,
+    ElementType,
+    pack_word,
+    unpack_word,
+)
+from repro.isa import simdops
+
+
+def word_of(lanes, etype):
+    return pack_word(np.asarray(lanes) & etype.mask, etype)
+
+
+def lanes_strategy(etype):
+    return st.lists(st.integers(min_value=etype.min, max_value=etype.max),
+                    min_size=etype.lanes, max_size=etype.lanes)
+
+
+class TestPaddPsub:
+    def test_padd_wrap_bytes(self):
+        a = word_of([250, 1, 2, 3, 4, 5, 6, 7], U8)
+        b = word_of([10, 1, 1, 1, 1, 1, 1, 1], U8)
+        out = unpack_word(simdops.padd(a, b, U8), U8)
+        assert out[0] == (250 + 10) % 256
+        assert out[1] == 2
+
+    def test_padd_saturating_unsigned(self):
+        a = word_of([250] * 8, U8)
+        b = word_of([10] * 8, U8)
+        out = unpack_word(simdops.padd(a, b, U8, "sat"), U8)
+        assert all(v == 255 for v in out)
+
+    def test_padd_saturating_signed(self):
+        a = word_of([30000, -30000, 0, 5], S16)
+        b = word_of([10000, -10000, 0, 5], S16)
+        out = unpack_word(simdops.padd(a, b, S16, "sat"), S16)
+        assert list(out) == [32767, -32768, 0, 10]
+
+    def test_psub_saturating_unsigned_floors_at_zero(self):
+        a = word_of([5] * 8, U8)
+        b = word_of([10] * 8, U8)
+        out = unpack_word(simdops.psub(a, b, U8, "sat"), U8)
+        assert all(v == 0 for v in out)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            simdops.padd(0, 0, U8, "bogus")
+
+    @given(a=lanes_strategy(S16), b=lanes_strategy(S16))
+    def test_padd_commutative(self, a, b):
+        wa, wb = word_of(a, S16), word_of(b, S16)
+        assert simdops.padd(wa, wb, S16) == simdops.padd(wb, wa, S16)
+        assert simdops.padd(wa, wb, S16, "sat") == simdops.padd(wb, wa, S16, "sat")
+
+    @given(a=lanes_strategy(U8), b=lanes_strategy(U8))
+    def test_add_then_sub_wrap_roundtrip(self, a, b):
+        wa, wb = word_of(a, U8), word_of(b, U8)
+        assert simdops.psub(simdops.padd(wa, wb, U8), wb, U8) == wa
+
+
+class TestMultiplies:
+    def test_pmull_low_half(self):
+        a = word_of([300, -7, 2, 1], S16)
+        b = word_of([300, 3, -2, 1], S16)
+        out = unpack_word(simdops.pmull(a, b, S16), S16)
+        assert out[0] == 300 * 300 - 65536    # low 16 bits, reinterpreted signed
+        assert out[1] == -21
+        assert out[2] == -4
+
+    def test_pmulh_high_half(self):
+        a = word_of([16384, -16384, 1, 0], S16)
+        b = word_of([2, 2, 1, 5], S16)
+        out = unpack_word(simdops.pmulh(a, b, S16), S16)
+        assert out[0] == 0            # 32768 >> 16
+        assert out[1] == -1           # -32768 >> 16
+        assert out[2] == 0
+
+    def test_pmulh_rounding(self):
+        a = word_of([1, 0, 0, 0], S16)
+        b = word_of([1, 0, 0, 0], S16)
+        out = unpack_word(simdops.pmulh(a, b, S16, rounding=True), S16)
+        assert out[0] == 0  # (1 + 32768) >> 16 = 0
+
+    def test_pmadd_pairs(self):
+        a = word_of([1, 2, 3, 4], S16)
+        b = word_of([5, 6, 7, 8], S16)
+        out = unpack_word(simdops.pmadd(a, b, S16), S32)
+        assert list(out) == [1 * 5 + 2 * 6, 3 * 7 + 4 * 8]
+
+    def test_pmadd_negative(self):
+        a = word_of([-1, 2, -3, 4], S16)
+        b = word_of([5, -6, 7, -8], S16)
+        out = unpack_word(simdops.pmadd(a, b, S16), S32)
+        assert list(out) == [-5 - 12, -21 - 32]
+
+    def test_pmadd_rejects_too_wide(self):
+        with pytest.raises(ValueError):
+            simdops.pmadd(0, 0, ElementType(32, signed=True))
+
+    @given(a=lanes_strategy(S16), b=lanes_strategy(S16))
+    def test_pmull_matches_modular_product(self, a, b):
+        out = unpack_word(simdops.pmull(word_of(a, S16), word_of(b, S16), S16), S16)
+        for lane, (x, y) in enumerate(zip(a, b)):
+            assert (int(out[lane]) - x * y) % (1 << 16) == 0
+
+    @given(a=lanes_strategy(S16), b=lanes_strategy(S16))
+    def test_pmadd_matches_reference(self, a, b):
+        out = unpack_word(simdops.pmadd(word_of(a, S16), word_of(b, S16), S16), S32)
+        expected = [a[0] * b[0] + a[1] * b[1], a[2] * b[2] + a[3] * b[3]]
+        # pmaddwd wraps in the single corner case where both products are
+        # (-32768)^2 and their sum exceeds the signed 32-bit range.
+        for got, want in zip(out, expected):
+            assert (int(got) - want) % (1 << 32) == 0
+
+
+class TestSadAvgMinMax:
+    def test_psad(self):
+        a = word_of([10, 0, 5, 200, 1, 1, 1, 1], U8)
+        b = word_of([0, 10, 5, 100, 2, 0, 1, 1], U8)
+        out = unpack_word(simdops.psad(a, b, U8), U32)
+        assert out[0] == 10 + 10 + 0 + 100 + 1 + 1
+        assert out[1] == 0
+
+    @given(a=lanes_strategy(U8), b=lanes_strategy(U8))
+    def test_psad_matches_numpy(self, a, b):
+        out = unpack_word(simdops.psad(word_of(a, U8), word_of(b, U8), U8), U32)
+        assert out[0] == int(np.abs(np.array(a) - np.array(b)).sum())
+
+    def test_pabsdiff(self):
+        a = word_of([10, 0, 255, 3, 0, 0, 0, 0], U8)
+        b = word_of([0, 10, 0, 3, 0, 0, 0, 0], U8)
+        out = unpack_word(simdops.pabsdiff(a, b, U8), U8)
+        assert list(out[:4]) == [10, 10, 255, 0]
+
+    def test_pavg_rounds_up(self):
+        a = word_of([1, 2, 255, 0, 0, 0, 0, 0], U8)
+        b = word_of([2, 2, 255, 0, 0, 0, 0, 0], U8)
+        out = unpack_word(simdops.pavg(a, b, U8), U8)
+        assert list(out[:3]) == [2, 2, 255]
+
+    @given(a=lanes_strategy(U8), b=lanes_strategy(U8))
+    def test_pavg_matches_formula(self, a, b):
+        out = unpack_word(simdops.pavg(word_of(a, U8), word_of(b, U8), U8), U8)
+        expected = [(x + y + 1) >> 1 for x, y in zip(a, b)]
+        assert list(out) == expected
+
+    def test_pmin_pmax(self):
+        a = word_of([1, 200, 3, 4], S16)
+        b = word_of([2, 100, 3, -4], S16)
+        assert list(unpack_word(simdops.pmin(a, b, S16), S16)) == [1, 100, 3, -4]
+        assert list(unpack_word(simdops.pmax(a, b, S16), S16)) == [2, 200, 3, 4]
+
+
+class TestCompareLogical:
+    def test_pcmpeq(self):
+        a = word_of([1, 2, 3, 4], S16)
+        b = word_of([1, 0, 3, 0], S16)
+        out = unpack_word(simdops.pcmpeq(a, b, S16), U16)
+        assert list(out) == [0xFFFF, 0, 0xFFFF, 0]
+
+    def test_pcmpgt_signed(self):
+        a = word_of([1, -2, 3, 0], S16)
+        b = word_of([0, 0, 3, -1], S16)
+        out = unpack_word(simdops.pcmpgt(a, b, S16), U16)
+        assert list(out) == [0xFFFF, 0, 0, 0xFFFF]
+
+    def test_logical_ops(self):
+        a, b = 0xF0F0F0F0F0F0F0F0, 0xFF00FF00FF00FF00
+        assert simdops.pand(a, b) == a & b
+        assert simdops.por(a, b) == a | b
+        assert simdops.pxor(a, b) == a ^ b
+        assert simdops.pandn(a, b) == (~a & b) & ((1 << 64) - 1)
+
+
+class TestShifts:
+    def test_psll(self):
+        a = word_of([1, 2, 3, 4], U16)
+        out = unpack_word(simdops.psll(a, 2, U16), U16)
+        assert list(out) == [4, 8, 12, 16]
+
+    def test_psrl_zero_fills(self):
+        a = word_of([0x8000, 4, 2, 1], U16)
+        out = unpack_word(simdops.psrl(a, 1, U16), U16)
+        assert list(out) == [0x4000, 2, 1, 0]
+
+    def test_psra_sign_fills(self):
+        a = word_of([-4, 4, -1, 1], S16)
+        out = unpack_word(simdops.psra(a, 1, S16), S16)
+        assert list(out) == [-2, 2, -1, 0]
+
+    def test_pshift_scale_rounds(self):
+        a = word_of([5, -5, 4, -4], S16)
+        out = unpack_word(simdops.pshift_scale(a, 1, S16), S16)
+        assert list(out) == [3, -2, 2, -2]
+
+
+class TestPackUnpackOps:
+    def test_packss_signed_saturation(self):
+        a = word_of([40000, -40000], S32)
+        b = word_of([5, -5], S32)
+        out = unpack_word(simdops.packss(a, b, S32), S16)
+        assert list(out) == [32767, -32768, 5, -5]
+
+    def test_packus_unsigned_saturation(self):
+        a = word_of([300, -5, 100, 255], S16)
+        b = word_of([0, 1, 2, 256], S16)
+        out = unpack_word(simdops.packus(a, b, S16), U8)
+        assert list(out) == [255, 0, 100, 255, 0, 1, 2, 255]
+
+    def test_punpckl_interleaves_low(self):
+        a = word_of([1, 2, 3, 4, 5, 6, 7, 8], U8)
+        b = word_of([11, 12, 13, 14, 15, 16, 17, 18], U8)
+        out = unpack_word(simdops.punpckl(a, b, U8), U8)
+        assert list(out) == [1, 11, 2, 12, 3, 13, 4, 14]
+
+    def test_punpckh_interleaves_high(self):
+        a = word_of([1, 2, 3, 4, 5, 6, 7, 8], U8)
+        b = word_of([11, 12, 13, 14, 15, 16, 17, 18], U8)
+        out = unpack_word(simdops.punpckh(a, b, U8), U8)
+        assert list(out) == [5, 15, 6, 16, 7, 17, 8, 18]
+
+    def test_zero_extension_idiom(self):
+        """punpckl with zero implements u8 -> u16 promotion."""
+        a = word_of([1, 2, 3, 4, 5, 6, 7, 8], U8)
+        out = unpack_word(simdops.punpckl(a, 0, U8), U16)
+        assert list(out) == [1, 2, 3, 4]
+
+    @given(a=lanes_strategy(U8), b=lanes_strategy(U8))
+    def test_unpack_preserves_all_lanes(self, a, b):
+        wa, wb = word_of(a, U8), word_of(b, U8)
+        lo = unpack_word(simdops.punpckl(wa, wb, U8), U8)
+        hi = unpack_word(simdops.punpckh(wa, wb, U8), U8)
+        combined = sorted(list(lo) + list(hi))
+        assert combined == sorted(a + b)
+
+
+class TestSplat:
+    def test_splat_all_lanes(self):
+        word = simdops.splat(7, U8)
+        assert list(unpack_word(word, U8)) == [7] * 8
+
+    def test_splat_truncates(self):
+        word = simdops.splat(0x1FF, U8)
+        assert list(unpack_word(word, U8)) == [0xFF] * 8
+
+    def test_pzero(self):
+        assert simdops.pzero() == 0

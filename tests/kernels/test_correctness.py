@@ -1,0 +1,84 @@
+"""Functional correctness: every ISA variant of every kernel must reproduce
+the NumPy golden reference bit-exactly."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.kernels.base import ISA_VARIANTS
+from repro.kernels.registry import KERNELS, get_kernel, kernel_names
+from repro.workloads.generators import WorkloadSpec
+
+ALL_KERNELS = kernel_names()
+
+
+@pytest.mark.parametrize("kernel_name", ALL_KERNELS)
+@pytest.mark.parametrize("isa", ISA_VARIANTS)
+def test_variant_matches_reference(kernel_name, isa, tiny_spec):
+    kernel = get_kernel(kernel_name)
+    result = kernel.run_variant(isa, spec=tiny_spec)
+    assert result.correct, (
+        f"{kernel_name}/{isa} diverges from the golden reference "
+        f"(max abs error {result.max_abs_error()})"
+    )
+
+
+@pytest.mark.parametrize("kernel_name", ALL_KERNELS)
+def test_all_variants_agree_on_shared_workload(kernel_name):
+    """All four variants produce identical outputs on one shared workload."""
+    kernel = get_kernel(kernel_name)
+    results = kernel.run_all_variants(WorkloadSpec(scale=1, seed=321))
+    outputs = {isa: np.asarray(r.output) for isa, r in results.items()}
+    reference = np.asarray(results["scalar"].reference)
+    for isa, out in outputs.items():
+        assert out.shape == reference.shape
+        assert np.array_equal(out, reference), f"{kernel_name}/{isa} output differs"
+
+
+@pytest.mark.parametrize("kernel_name", ALL_KERNELS)
+@pytest.mark.parametrize("seed", [0, 1, 17])
+def test_correctness_across_seeds(kernel_name, seed):
+    """Correctness is data independent (several random workloads)."""
+    kernel = get_kernel(kernel_name)
+    spec = WorkloadSpec(scale=1, seed=seed)
+    workload = kernel.make_workload(spec)
+    for isa in ("mmx", "mom"):
+        result = kernel.run_variant(isa, workload=workload)
+        assert result.correct, f"{kernel_name}/{isa} wrong for seed {seed}"
+
+
+@pytest.mark.parametrize("kernel_name", ALL_KERNELS)
+def test_correctness_at_larger_scale(kernel_name):
+    """A larger workload (more blocks / lags / frames) stays correct."""
+    kernel = get_kernel(kernel_name)
+    spec = WorkloadSpec(scale=max(2, kernel.default_scale), seed=5)
+    workload = kernel.make_workload(spec)
+    for isa in ISA_VARIANTS:
+        result = kernel.run_variant(isa, workload=workload)
+        assert result.correct, f"{kernel_name}/{isa} wrong at scale {spec.scale}"
+
+
+class TestRegistry:
+    def test_nine_kernels(self):
+        assert len(KERNELS) == 9
+        expected = {"idct", "motion1", "motion2", "rgb2ycc", "h2v2", "comp",
+                    "addblock", "ltppar", "ltpsfilt"}
+        assert set(KERNELS) == expected
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(KeyError):
+            get_kernel("fft")
+
+    def test_kernels_have_metadata(self):
+        for kernel in KERNELS.values():
+            assert kernel.name
+            assert kernel.description
+            assert kernel.benchmark
+            assert kernel.default_scale >= 1
+
+    def test_build_dispatch_rejects_unknown_isa(self, tiny_spec):
+        kernel = get_kernel("comp")
+        workload = kernel.make_workload(tiny_spec)
+        with pytest.raises(ValueError):
+            kernel.run_variant("altivec", workload=workload)

@@ -1,0 +1,146 @@
+"""Independent checks of the NumPy golden references themselves.
+
+The golden models are re-derived here with alternative formulations (direct
+definitions rather than the vectorised forms used in the kernels) so a bug in
+a reference cannot silently validate a matching bug in the kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.fixedpoint import round_half_up
+from repro.kernels.constants import (
+    CB_COEFFS,
+    CHROMA_OFFSET,
+    CR_COEFFS,
+    IDCT_SHIFT,
+    RGB_ROUND,
+    RGB_SHIFT,
+    Y_COEFFS,
+    idct_basis_q14,
+)
+from repro.kernels.registry import get_kernel
+from repro.workloads.generators import WorkloadSpec
+
+
+class TestIdctBasis:
+    def test_shape_and_range(self):
+        a = idct_basis_q14()
+        assert a.shape == (8, 8)
+        assert np.all(np.abs(a) <= (1 << IDCT_SHIFT) // 2)
+
+    def test_even_odd_symmetry(self):
+        a = idct_basis_q14()
+        for i in range(4):
+            for u in range(8):
+                sign = 1 if u % 2 == 0 else -1
+                assert a[7 - i, u] == sign * a[i, u]
+
+    def test_orthogonality_approximate(self):
+        """A @ A.T is close to (1/2 * 2^14)^2-scaled identity / 2."""
+        a = idct_basis_q14().astype(np.float64) / (1 << IDCT_SHIFT)
+        gram = a @ a.T
+        assert np.allclose(gram, np.eye(8) * gram[0, 0], atol=1e-3)
+
+    def test_dc_only_block_becomes_flat(self):
+        kernel = get_kernel("idct")
+        workload = {"coeffs": np.zeros((1, 8, 8), dtype=np.int64), "blocks": 1}
+        workload["coeffs"][0, 0, 0] = 1 << 10
+        out = kernel.reference(workload)[0]
+        # a pure DC block inverse-transforms to a constant plane
+        assert np.all(out == out[0, 0])
+        assert out[0, 0] != 0
+
+
+class TestMotionReferences:
+    def test_identical_blocks_have_zero_metric(self):
+        for name in ("motion1", "motion2"):
+            kernel = get_kernel(name)
+            block = np.full((1, 16, 16), 77, dtype=np.int64)
+            workload = {"cur": block, "ref": block.copy(), "blocks": 1}
+            assert kernel.reference(workload)[0] == 0
+
+    def test_known_small_case(self):
+        cur = np.zeros((1, 16, 16), dtype=np.int64)
+        ref = np.zeros((1, 16, 16), dtype=np.int64)
+        cur[0, 0, 0] = 10
+        ref[0, 0, 1] = 4
+        workload = {"cur": cur, "ref": ref, "blocks": 1}
+        assert get_kernel("motion1").reference(workload)[0] == 14
+        assert get_kernel("motion2").reference(workload)[0] == 100 + 16
+
+
+class TestRgbReference:
+    def test_grey_input_maps_to_neutral_chroma(self):
+        kernel = get_kernel("rgb2ycc")
+        grey = np.full(8, 128, dtype=np.int64)
+        workload = {"rgb": np.stack([grey, grey, grey]), "pixels": 8}
+        out = kernel.reference(workload)
+        assert np.all(np.abs(out[0] - 128) <= 1)   # Y ~ 128
+        assert np.all(np.abs(out[1] - 128) <= 1)   # Cb ~ 128
+        assert np.all(np.abs(out[2] - 128) <= 1)   # Cr ~ 128
+
+    def test_pure_colours(self):
+        kernel = get_kernel("rgb2ycc")
+        r = np.array([255, 0, 0], dtype=np.int64)
+        g = np.array([0, 255, 0], dtype=np.int64)
+        b = np.array([0, 0, 255], dtype=np.int64)
+        workload = {"rgb": np.stack([r, g, b]), "pixels": 3}
+        out = kernel.reference(workload)
+        manual_y = [
+            (Y_COEFFS[0] * 255 + RGB_ROUND) >> RGB_SHIFT,
+            (Y_COEFFS[1] * 255 + RGB_ROUND) >> RGB_SHIFT,
+            (Y_COEFFS[2] * 255 + RGB_ROUND) >> RGB_SHIFT,
+        ]
+        assert list(out[0]) == manual_y
+        assert out.shape == (3, 3)
+        assert np.all((out >= 0) & (out <= 255))
+
+
+class TestOtherReferences:
+    def test_h2v2_replicates_pixels(self):
+        kernel = get_kernel("h2v2")
+        inp = np.arange(64, dtype=np.int64).reshape(1, 8, 8)
+        out = kernel.reference({"input": inp, "tiles": 1})
+        assert out.shape == (1, 16, 16)
+        assert out[0, 0, 0] == out[0, 0, 1] == out[0, 1, 0] == out[0, 1, 1] == inp[0, 0, 0]
+        assert out[0, 15, 15] == inp[0, 7, 7]
+
+    def test_addblock_clamps(self):
+        kernel = get_kernel("addblock")
+        pred = np.full((1, 8, 8), 250, dtype=np.int64)
+        resid = np.full((1, 8, 8), 100, dtype=np.int64)
+        out = kernel.reference({"pred": pred, "resid": resid, "blocks": 1})
+        assert np.all(out == 255)
+        resid[:] = -300
+        out = kernel.reference({"pred": pred, "resid": resid, "blocks": 1})
+        assert np.all(out == 0)
+
+    def test_comp_is_rounding_average(self):
+        kernel = get_kernel("comp")
+        a = np.full((1, 16, 16), 5, dtype=np.int64)
+        b = np.full((1, 16, 16), 6, dtype=np.int64)
+        out = kernel.reference({"a": a, "b": b, "blocks": 1})
+        assert np.all(out == 6)
+
+    def test_ltppar_matches_direct_dot_products(self):
+        kernel = get_kernel("ltppar")
+        workload = kernel.make_workload(WorkloadSpec(scale=1, seed=3))
+        ref = kernel.reference(workload)
+        nlags = workload["nlags"]
+        d, hist = workload["d"], workload["hist"]
+        for lag in range(nlags):
+            manual = sum(int(d[k]) * int(hist[lag + k]) for k in range(40))
+            assert ref[lag] == manual
+        assert ref[nlags] == max(ref[:nlags])
+        assert ref[nlags + 1] == int(np.argmax(ref[:nlags]))
+
+    def test_ltpsfilt_saturates(self):
+        kernel = get_kernel("ltpsfilt")
+        erp = np.full((1, 40), 32000, dtype=np.int64)
+        hist = np.full((1, 40), 32000, dtype=np.int64)
+        gains = np.array([32767], dtype=np.int64)
+        out = kernel.reference({"erp": erp, "hist": hist, "gains": gains, "frames": 1})
+        assert np.all(out == 32767)

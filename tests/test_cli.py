@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "comp"])
+        assert args.kernel == "comp"
+        assert args.way == 4
+        assert args.mem_latency == 1
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fft"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "idct" in out and "ltpsfilt" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "h2v2", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MOM" in out and "IPC" in out
+
+    def test_run_with_machine_options(self, capsys):
+        assert main(["run", "comp", "--scale", "1", "--way", "2",
+                     "--mem-latency", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "2-way" in out and "12-cycle" in out
+
+    def test_figure4_subset(self, capsys):
+        assert main(["figure4", "--kernels", "comp", "--ways", "1", "4",
+                     "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "way 1" in out and "comp" in out
+
+    def test_figure5_subset(self, capsys):
+        assert main(["figure5", "--kernels", "h2v2", "--latencies", "1", "50",
+                     "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "lat 50" in out and "Slow-down" in out
+
+    def test_tables_subset(self, capsys):
+        assert main(["tables", "--kernels", "addblock", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out and "MDMX" in out

@@ -1,0 +1,91 @@
+"""Property-style invariants of the timing model on randomly generated traces.
+
+These complement the hand-written micro-traces in ``test_core.py``: whatever
+the trace looks like, adding resources must never hurt, removing latency
+must never hurt, and the accounting identities must hold.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opclasses import OpClass, RegFile
+from repro.timing.config import MachineConfig
+from repro.timing.core import simulate_trace
+from repro.trace.container import Trace
+from repro.trace.instruction import DynInstr, RegRef
+
+_OPCLASSES = [OpClass.IALU, OpClass.IMUL, OpClass.LOAD, OpClass.STORE,
+              OpClass.MEDIA_ALU, OpClass.MEDIA_MUL, OpClass.MEDIA_LOAD,
+              OpClass.BRANCH]
+
+
+@st.composite
+def random_trace(draw, max_len=60):
+    """A random but well-formed dynamic instruction trace."""
+    length = draw(st.integers(min_value=1, max_value=max_len))
+    trace = Trace(name="random", isa="test")
+    for _ in range(length):
+        opclass = draw(st.sampled_from(_OPCLASSES))
+        if opclass in (OpClass.MEDIA_ALU, OpClass.MEDIA_MUL, OpClass.MEDIA_LOAD):
+            file = RegFile.MEDIA
+            vlx = draw(st.sampled_from([2, 4, 8]))
+            vly = draw(st.sampled_from([1, 1, 4, 8]))
+            is_vector = True
+        else:
+            file = RegFile.INT
+            vlx = vly = 1
+            is_vector = False
+        n_srcs = draw(st.integers(min_value=0, max_value=2))
+        srcs = tuple(RegRef(file, draw(st.integers(0, 15))) for _ in range(n_srcs))
+        dsts = ()
+        if opclass is not OpClass.STORE and opclass is not OpClass.BRANCH:
+            dsts = (RegRef(file, draw(st.integers(0, 15))),)
+        trace.append(DynInstr(opcode=opclass.value, opclass=opclass, isa="test",
+                              srcs=srcs, dsts=dsts, ops=vlx * vly, vlx=vlx,
+                              vly=vly, is_vector=is_vector))
+    return trace
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=random_trace())
+def test_cycles_positive_and_bounded_below_by_bandwidth(trace):
+    cfg = MachineConfig.for_way(4)
+    result = simulate_trace(trace, cfg)
+    assert result.cycles >= len(trace) / cfg.fetch_width
+    assert result.instructions == len(trace)
+    assert result.operations == sum(i.ops for i in trace)
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=random_trace())
+def test_wider_machine_never_slower(trace):
+    narrow = simulate_trace(trace, MachineConfig.for_way(2))
+    wide = simulate_trace(trace, MachineConfig.for_way(8))
+    assert wide.cycles <= narrow.cycles + 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=random_trace())
+def test_lower_memory_latency_never_slower(trace):
+    fast = simulate_trace(trace, MachineConfig.for_way(4, mem_latency=1))
+    slow = simulate_trace(trace, MachineConfig.for_way(4, mem_latency=50))
+    assert fast.cycles <= slow.cycles + 3
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=random_trace())
+def test_more_media_lanes_never_slower(trace):
+    base = MachineConfig.for_way(4)
+    one = simulate_trace(trace, base.with_updates(media_lanes=1))
+    four = simulate_trace(trace, base.with_updates(media_lanes=4,
+                                                   mem_port_width=8))
+    assert four.cycles <= one.cycles + 2
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=random_trace())
+def test_simulation_is_deterministic(trace):
+    cfg = MachineConfig.for_way(4)
+    assert simulate_trace(trace, cfg).cycles == simulate_trace(trace, cfg).cycles

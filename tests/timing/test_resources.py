@@ -1,0 +1,123 @@
+"""Tests for the structural-resource trackers of the timing model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.timing.resources import BandwidthLimiter, FunctionalUnitPool, SlotPool
+
+
+class TestFunctionalUnitPool:
+    def test_single_unit_serialises(self):
+        pool = FunctionalUnitPool("fu", 1)
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(0, 1) == 1
+        assert pool.acquire(0, 1) == 2
+
+    def test_multiple_units_run_in_parallel(self):
+        pool = FunctionalUnitPool("fu", 3)
+        starts = [pool.acquire(5, 1) for _ in range(3)]
+        assert starts == [5, 5, 5]
+        assert pool.acquire(5, 1) == 6
+
+    def test_occupancy_blocks_window(self):
+        pool = FunctionalUnitPool("fu", 1)
+        assert pool.acquire(0, 4) == 0
+        assert pool.acquire(0, 1) == 4
+
+    def test_backfill_of_idle_cycles(self):
+        """A later-processed instruction may use an earlier idle cycle."""
+        pool = FunctionalUnitPool("fu", 1)
+        pool.acquire(10, 2)          # busy cycles 10-11
+        assert pool.acquire(0, 1) == 0
+        assert pool.acquire(9, 2) == 12  # cannot fit before the busy window
+
+    def test_find_start_does_not_reserve(self):
+        pool = FunctionalUnitPool("fu", 1)
+        assert pool.find_start(3, 2) == 3
+        assert pool.find_start(3, 2) == 3
+        pool.reserve(3, 2)
+        assert pool.find_start(3, 2) == 5
+
+    def test_busy_cycles_counter(self):
+        pool = FunctionalUnitPool("fu", 2)
+        pool.acquire(0, 3)
+        pool.acquire(0, 2)
+        assert pool.busy_cycles == 5
+
+    def test_needs_at_least_one_unit(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitPool("fu", 0)
+
+    @given(requests=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(1, 8)), min_size=1, max_size=40),
+        count=st.integers(1, 4))
+    def test_never_oversubscribed(self, requests, count):
+        pool = FunctionalUnitPool("fu", count)
+        usage = {}
+        for ready, occ in requests:
+            start = pool.acquire(ready, occ)
+            assert start >= ready
+            for cycle in range(start, start + occ):
+                usage[cycle] = usage.get(cycle, 0) + 1
+        assert all(v <= count for v in usage.values())
+
+
+class TestBandwidthLimiter:
+    def test_limits_events_per_cycle(self):
+        bw = BandwidthLimiter(2)
+        assert bw.next_slot(0) == 0
+        assert bw.next_slot(0) == 0
+        assert bw.next_slot(0) == 1
+
+    def test_probe_does_not_reserve(self):
+        bw = BandwidthLimiter(1)
+        assert bw.probe(3) == 3
+        assert bw.probe(3) == 3
+        bw.next_slot(3)
+        assert bw.probe(3) == 4
+
+    def test_width_check(self):
+        with pytest.raises(ValueError):
+            BandwidthLimiter(0)
+
+    @given(events=st.lists(st.integers(0, 30), min_size=1, max_size=60),
+           width=st.integers(1, 4))
+    def test_never_exceeds_width(self, events, width):
+        bw = BandwidthLimiter(width)
+        per_cycle = {}
+        for earliest in events:
+            cycle = bw.next_slot(earliest)
+            assert cycle >= earliest
+            per_cycle[cycle] = per_cycle.get(cycle, 0) + 1
+        assert all(v <= width for v in per_cycle.values())
+
+
+class TestSlotPool:
+    def test_unlimited_when_capacity_zero(self):
+        pool = SlotPool("p", 0)
+        assert pool.constrain(5) == 5
+        pool.occupy(100)
+        assert pool.constrain(5) == 5
+
+    def test_blocks_when_full(self):
+        pool = SlotPool("p", 2)
+        assert pool.constrain(0) == 0
+        pool.occupy(10)
+        assert pool.constrain(0) == 0
+        pool.occupy(20)
+        # both slots held until cycles 10 and 20; the next occupant waits for
+        # the earlier release
+        assert pool.constrain(0) == 10
+
+    def test_released_slots_are_reused(self):
+        pool = SlotPool("p", 1)
+        pool.constrain(0)
+        pool.occupy(5)
+        assert pool.constrain(7) == 7  # released at 5 < 7
+
+    def test_constrain_is_monotonic_in_candidate(self):
+        pool = SlotPool("p", 1)
+        pool.occupy(50)
+        assert pool.constrain(60) == 60

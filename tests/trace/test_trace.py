@@ -1,0 +1,112 @@
+"""Tests for dynamic-instruction records, trace containers and statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.opclasses import OpClass, RegFile
+from repro.trace.container import Trace
+from repro.trace.instruction import DynInstr, RegRef
+from repro.trace.stats import summarize_trace
+
+
+def make_instr(opcode="add", opclass=OpClass.IALU, ops=1, vlx=1, vly=1,
+               is_vector=False, srcs=(), dsts=()):
+    return DynInstr(opcode=opcode, opclass=opclass, isa="test", srcs=tuple(srcs),
+                    dsts=tuple(dsts), ops=ops, vlx=vlx, vly=vly, is_vector=is_vector)
+
+
+class TestDynInstr:
+    def test_memory_predicates(self):
+        load = make_instr(opclass=OpClass.MEDIA_LOAD)
+        store = make_instr(opclass=OpClass.STORE)
+        alu = make_instr(opclass=OpClass.IALU)
+        assert load.is_memory and load.is_load and not load.is_store
+        assert store.is_memory and store.is_store
+        assert not alu.is_memory
+
+    def test_str_formats(self):
+        instr = make_instr(srcs=(RegRef(RegFile.MEDIA, 1),),
+                           dsts=(RegRef(RegFile.MATRIX, 2),))
+        text = str(instr)
+        assert "mm1" in text and "mr2" in text
+
+    def test_frozen(self):
+        instr = make_instr()
+        with pytest.raises(Exception):
+            instr.ops = 5  # type: ignore[misc]
+
+
+class TestTraceContainer:
+    def test_append_iterate_index(self):
+        trace = Trace(name="k", isa="mmx")
+        instrs = [make_instr(opcode=f"op{i}") for i in range(5)]
+        for instr in instrs:
+            trace.append(instr)
+        assert len(trace) == 5
+        assert list(trace) == instrs
+        assert trace[2].opcode == "op2"
+
+    def test_extend(self):
+        trace = Trace()
+        trace.extend([make_instr(), make_instr()])
+        assert len(trace) == 2
+
+
+class TestTraceStats:
+    def test_basic_counts(self):
+        trace = Trace(name="k", isa="mmx")
+        trace.append(make_instr(opclass=OpClass.IALU))
+        trace.append(make_instr(opclass=OpClass.BRANCH))
+        trace.append(make_instr(opclass=OpClass.LOAD))
+        trace.append(make_instr(opclass=OpClass.MEDIA_STORE, ops=8, vlx=8,
+                                is_vector=True))
+        trace.append(make_instr(opclass=OpClass.MEDIA_ALU, ops=32, vlx=8, vly=4,
+                                is_vector=True))
+        stats = summarize_trace(trace)
+        assert stats.num_instructions == 5
+        assert stats.num_operations == 1 + 1 + 1 + 8 + 32
+        assert stats.num_branches == 1
+        assert stats.num_memory_instructions == 2
+        assert stats.num_loads == 1 and stats.num_stores == 1
+        assert stats.num_vector_instructions == 2
+
+    def test_derived_metrics(self):
+        trace = Trace()
+        trace.append(make_instr(ops=1))
+        trace.append(make_instr(opclass=OpClass.MEDIA_ALU, ops=16, vlx=8, vly=2,
+                                is_vector=True))
+        stats = summarize_trace(trace)
+        assert stats.operations_per_instruction == pytest.approx(8.5)
+        assert stats.vector_fraction == pytest.approx(0.5)
+        assert stats.avg_vlx == pytest.approx(8.0)
+        assert stats.avg_vly == pytest.approx(2.0)
+
+    def test_empty_trace(self):
+        stats = summarize_trace(Trace())
+        assert stats.num_instructions == 0
+        assert stats.operations_per_instruction == 0.0
+        assert stats.vector_fraction == 0.0
+        assert stats.avg_vlx == 1.0 and stats.avg_vly == 1.0
+
+    def test_opcode_histogram(self):
+        trace = Trace()
+        trace.append(make_instr(opcode="padd"))
+        trace.append(make_instr(opcode="padd"))
+        trace.append(make_instr(opcode="psub"))
+        stats = summarize_trace(trace)
+        assert stats.opcode_histogram["padd"] == 2
+        assert stats.opcode_histogram["psub"] == 1
+
+    def test_paper_opi_identity(self):
+        """OPI == (1 - F) + F * VLx * VLy when vector lengths are uniform."""
+        trace = Trace()
+        for _ in range(6):
+            trace.append(make_instr(ops=1))
+        for _ in range(4):
+            trace.append(make_instr(opclass=OpClass.MEDIA_ALU, ops=8 * 4,
+                                    vlx=8, vly=4, is_vector=True))
+        stats = summarize_trace(trace)
+        f = stats.vector_fraction
+        expected = (1 - f) + f * stats.avg_vlx * stats.avg_vly
+        assert stats.operations_per_instruction == pytest.approx(expected)
