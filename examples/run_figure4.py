@@ -4,27 +4,34 @@
 Runs all nine kernels on 1-, 2-, 4- and 8-way machines for the four ISAs and
 prints the speed-up table (the data behind the paper's bar charts).
 
-Run:  python examples/run_figure4.py [scale]
+Run:  python examples/run_figure4.py [scale] [--jobs N] [--cache-dir DIR]
+
+``--jobs`` fans the 144 sweep points out over worker processes; with
+``--cache-dir`` a warm re-run does zero simulations.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro.analysis.report import format_speedup_table
+from repro.cli import add_sweep_arguments, engine_from_args, engine_summary
 from repro.experiments.figure4 import figure4_speedups, run_figure4
 from repro.workloads.generators import WorkloadSpec
 
 
 def main() -> int:
-    scale = int(sys.argv[1]) if len(sys.argv) > 1 else None
-    spec = WorkloadSpec(scale=scale) if scale else None
+    parser = argparse.ArgumentParser(description="Regenerate Figure 4")
+    args = add_sweep_arguments(parser).parse_args()
+    spec = WorkloadSpec(scale=args.scale) if args.scale else None
+    engine = engine_from_args(args)
     start = time.time()
-    results = run_figure4(spec=spec)
+    results = run_figure4(spec=spec, engine=engine)
     speedups = figure4_speedups(results)
     print(format_speedup_table(speedups))
-    print(f"\n(regenerated in {time.time() - start:.1f}s of simulation)")
+    print(f"\n(regenerated in {time.time() - start:.1f}s: "
+          f"{engine_summary(engine)})")
 
     # Headline summary matching the paper's abstract.
     extra = []

@@ -5,24 +5,27 @@ Sweeps the idealized memory latency over 1, 12 and 50 cycles for all nine
 kernels and all four ISAs, prints the cycle counts and the slow-down of each
 ISA from the 1-cycle to the 50-cycle design point.
 
-Run:  python examples/run_figure5.py [scale]
+Run:  python examples/run_figure5.py [scale] [--jobs N] [--cache-dir DIR]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro.analysis.report import format_latency_table
+from repro.cli import add_sweep_arguments, engine_from_args, engine_summary
 from repro.experiments.figure5 import figure5_cycles, figure5_slowdowns, run_figure5
 from repro.workloads.generators import WorkloadSpec
 
 
 def main() -> int:
-    scale = int(sys.argv[1]) if len(sys.argv) > 1 else None
-    spec = WorkloadSpec(scale=scale) if scale else None
+    parser = argparse.ArgumentParser(description="Regenerate Figure 5")
+    args = add_sweep_arguments(parser).parse_args()
+    spec = WorkloadSpec(scale=args.scale) if args.scale else None
+    engine = engine_from_args(args)
     start = time.time()
-    results = run_figure5(spec=spec)
+    results = run_figure5(spec=spec, engine=engine)
     print(format_latency_table(figure5_cycles(results)))
 
     print("\nSlow-down from 1-cycle to 50-cycle memory latency:")
@@ -30,7 +33,8 @@ def main() -> int:
     for kernel, per_isa in slowdowns.items():
         cells = "  ".join(f"{isa:6s} {value:4.1f}x" for isa, value in per_isa.items())
         print(f"  {kernel:10s} {cells}")
-    print(f"\n(regenerated in {time.time() - start:.1f}s of simulation)")
+    print(f"\n(regenerated in {time.time() - start:.1f}s: "
+          f"{engine_summary(engine)})")
     return 0
 
 

@@ -2,28 +2,32 @@
 """Regenerate Tables 1-9 of the paper: IPC / OPI / R / S / F / VLx / VLy per
 kernel and ISA on the 4-way core with perfect (1-cycle) memory.
 
-Run:  python examples/run_tables.py [scale]
+Run:  python examples/run_tables.py [scale] [--jobs N] [--cache-dir DIR]
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 import time
 
 from repro.analysis.report import format_breakdown_table
+from repro.cli import add_sweep_arguments, engine_from_args, engine_summary
 from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
 from repro.workloads.generators import WorkloadSpec
 
 
 def main() -> int:
-    scale = int(sys.argv[1]) if len(sys.argv) > 1 else None
-    spec = WorkloadSpec(scale=scale) if scale else None
+    parser = argparse.ArgumentParser(description="Regenerate Tables 1-9")
+    args = add_sweep_arguments(parser).parse_args()
+    spec = WorkloadSpec(scale=args.scale) if args.scale else None
+    engine = engine_from_args(args)
     start = time.time()
-    tables = run_breakdown_tables(spec=spec)
+    tables = run_breakdown_tables(spec=spec, engine=engine)
     for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
         print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
         print(format_breakdown_table(kernel, tables[kernel]))
-    print(f"\n(regenerated in {time.time() - start:.1f}s of simulation)")
+    print(f"\n(regenerated in {time.time() - start:.1f}s: "
+          f"{engine_summary(engine)})")
     return 0
 
 

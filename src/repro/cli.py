@@ -7,11 +7,18 @@ The CLI exposes the experiment drivers without writing any Python:
 * ``figure4``  — regenerate the Figure 4 speed-up table.
 * ``figure5``  — regenerate the Figure 5 latency-tolerance table.
 * ``tables``   — regenerate the Tables 1-9 breakdowns.
+* ``sweep``    — run an arbitrary kernels x ISAs x widths x latencies sweep
+  through the shared engine.
+
+Every sweep-backed command accepts ``--jobs N`` (process-parallel execution)
+and ``--cache-dir DIR`` (on-disk result cache; warm re-runs do zero
+simulations).
 """
 
 from __future__ import annotations
 
 import argparse
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.analysis.metrics import compute_metrics
@@ -24,11 +31,49 @@ from repro.experiments.figure4 import figure4_speedups, run_figure4
 from repro.experiments.figure5 import figure5_cycles, figure5_slowdowns, run_figure5
 from repro.experiments.runner import run_kernel_all_isas
 from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
+from repro.kernels.base import ISA_VARIANTS
 from repro.kernels.registry import KERNELS, kernel_names
+from repro.sweep import SweepEngine, SweepPoint, resolve_spec
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
-__all__ = ["build_parser", "main"]
+__all__ = ["add_sweep_arguments", "build_parser", "engine_from_args",
+           "engine_summary", "main"]
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the sweep engine "
+                             "(default 1 = serial in-process)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="directory for the on-disk result cache "
+                             "(default: no caching)")
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser,
+                        scale_positional: bool = True) -> argparse.ArgumentParser:
+    """Attach the sweep-driver arguments shared with the example scripts:
+    an optional positional ``scale`` plus ``--jobs`` / ``--cache-dir``."""
+    if scale_positional:
+        parser.add_argument("scale", type=int, nargs="?", default=None,
+                            help="workload scale (default: kernel-specific)")
+    _add_engine_flags(parser)
+    return parser
+
+
+def engine_from_args(args: argparse.Namespace) -> SweepEngine:
+    """Build a :class:`SweepEngine` from parsed ``--jobs``/``--cache-dir``."""
+    return SweepEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+
+
+def engine_summary(engine: SweepEngine) -> str:
+    """One-line account of the engine's most recent run."""
+    summary = (f"{engine.last_simulated} point(s) simulated, "
+               f"{engine.last_cached} from cache")
+    if engine.last_fallback_reason:
+        summary += (f"; worker pool unavailable, ran serially "
+                    f"({engine.last_fallback_reason})")
+    return summary
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -53,16 +98,30 @@ def build_parser() -> argparse.ArgumentParser:
     fig4_p.add_argument("--kernels", nargs="*", default=None, choices=kernel_names())
     fig4_p.add_argument("--ways", nargs="*", type=int, default=[1, 2, 4, 8])
     fig4_p.add_argument("--scale", type=int, default=None)
+    _add_engine_flags(fig4_p)
 
     fig5_p = sub.add_parser("figure5", help="regenerate Figure 5")
     fig5_p.add_argument("--kernels", nargs="*", default=None, choices=kernel_names())
     fig5_p.add_argument("--latencies", nargs="*", type=int, default=[1, 12, 50])
     fig5_p.add_argument("--scale", type=int, default=None)
+    _add_engine_flags(fig5_p)
 
     tables_p = sub.add_parser("tables", help="regenerate Tables 1-9")
     tables_p.add_argument("--kernels", nargs="*", default=None, choices=kernel_names())
     tables_p.add_argument("--way", type=int, default=4)
     tables_p.add_argument("--scale", type=int, default=None)
+    _add_engine_flags(tables_p)
+
+    sweep_p = sub.add_parser(
+        "sweep", help="run a custom kernels x ISAs x widths x latencies sweep")
+    sweep_p.add_argument("--kernels", nargs="*", default=None, choices=kernel_names())
+    sweep_p.add_argument("--isas", nargs="*", default=list(ISA_VARIANTS),
+                         choices=list(ISA_VARIANTS))
+    sweep_p.add_argument("--ways", nargs="*", type=int, default=[4])
+    sweep_p.add_argument("--latencies", nargs="*", type=int, default=[1])
+    sweep_p.add_argument("--scale", type=int, default=None)
+    sweep_p.add_argument("--seed", type=int, default=1999)
+    _add_engine_flags(sweep_p)
 
     return parser
 
@@ -71,6 +130,16 @@ def _spec(scale: Optional[int], seed: int = 1999) -> Optional[WorkloadSpec]:
     if scale is None:
         return None
     return WorkloadSpec(scale=scale, seed=seed)
+
+
+def _print_engine_summary(engine: SweepEngine) -> None:
+    if engine.cache is not None:
+        print(f"\n[sweep] simulated {engine.last_simulated} point(s), "
+              f"{engine.last_cached} from cache "
+              f"({engine.cache.cache_dir})")
+    if engine.last_fallback_reason:
+        print(f"[sweep] worker pool unavailable, ran serially: "
+              f"{engine.last_fallback_reason}")
 
 
 def _cmd_list() -> int:
@@ -94,30 +163,64 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
+    engine = engine_from_args(args)
     results = run_figure4(kernels=args.kernels, ways=tuple(args.ways),
-                          spec=_spec(args.scale))
+                          spec=_spec(args.scale), engine=engine)
     print(format_speedup_table(figure4_speedups(results), ways=tuple(args.ways)))
+    _print_engine_summary(engine)
     return 0
 
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
+    engine = engine_from_args(args)
     results = run_figure5(kernels=args.kernels, latencies=tuple(args.latencies),
-                          spec=_spec(args.scale))
+                          spec=_spec(args.scale), engine=engine)
     print(format_latency_table(figure5_cycles(results),
                                latencies=tuple(args.latencies)))
     print("\nSlow-down from the lowest to the highest latency:")
     for kernel, per_isa in figure5_slowdowns(results).items():
         cells = "  ".join(f"{isa}:{v:4.1f}x" for isa, v in per_isa.items())
         print(f"  {kernel:10s} {cells}")
+    _print_engine_summary(engine)
     return 0
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
+    engine = engine_from_args(args)
     tables = run_breakdown_tables(kernels=args.kernels, way=args.way,
-                                  spec=_spec(args.scale))
+                                  spec=_spec(args.scale), engine=engine)
     for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
         print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
         print(format_breakdown_table(kernel, tables[kernel]))
+    _print_engine_summary(engine)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    engine = engine_from_args(args)
+    configs = [MachineConfig.for_way(way, mem_latency=latency)
+               for way in args.ways for latency in args.latencies]
+    # A custom --seed must apply even without --scale (where each kernel
+    # keeps its own default scale), so resolve the per-kernel spec here
+    # instead of leaving it to the sweep expansion.
+    points = [
+        SweepPoint(kernel=kernel, isa=isa, config=config,
+                   spec=replace(resolve_spec(kernel, _spec(args.scale)),
+                                seed=args.seed))
+        for kernel in (args.kernels if args.kernels is not None
+                       else kernel_names())
+        for config in configs
+        for isa in args.isas
+    ]
+    results = engine.run(points)
+    print(f"{'kernel':10s} {'isa':7s} {'config':8s} {'mem':>4s} "
+          f"{'cycles':>10s} {'instrs':>8s} {'IPC':>6s}  cached")
+    for r in results:
+        print(f"{r.kernel:10s} {r.isa:7s} {r.point.config.name:8s} "
+              f"{r.point.config.mem_latency:4d} {r.sim.cycles:10d} "
+              f"{r.sim.instructions:8d} {r.sim.ipc:6.2f}  "
+              f"{'yes' if r.cached else 'no'}")
+    _print_engine_summary(engine)
     return 0
 
 
@@ -134,4 +237,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure5(args)
     if args.command == "tables":
         return _cmd_tables(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -13,14 +13,18 @@ those arguments measurable in the reproduction:
 * :func:`run_trace_length_sensitivity` — checks that the per-iteration
   metrics are stable in the workload scale, justifying the scaled-down
   workloads documented in DESIGN.md.
+
+All three route their points through the shared
+:class:`~repro.sweep.SweepEngine` (pass ``jobs``/``cache_dir`` or an engine
+to parallelise or cache them).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.experiments.runner import run_kernel, run_kernel_all_isas
-from repro.kernels.registry import get_kernel
+from repro.kernels.base import ISA_VARIANTS
+from repro.sweep import SweepEngine, SweepPoint, ensure_engine, resolve_spec
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
@@ -36,21 +40,24 @@ def run_lane_ablation(
     lanes: Sequence[int] = (1, 2, 4),
     way: int = 4,
     spec: Optional[WorkloadSpec] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[int, "object"]:
     """MOM cycles as the number of vector lanes per multimedia FU grows."""
-    kernel = get_kernel(kernel_name)
-    workload = kernel.make_workload(
-        spec if spec is not None else WorkloadSpec(scale=kernel.default_scale)
-    )
-    results = {}
-    for lane_count in lanes:
-        config = MachineConfig.for_way(way).with_updates(
-            name=f"way{way}-lanes{lane_count}", media_lanes=lane_count,
-            mem_port_width=2 * lane_count,
+    spec = resolve_spec(kernel_name, spec)
+    points = [
+        SweepPoint(
+            kernel=kernel_name, isa="mom", spec=spec,
+            config=MachineConfig.for_way(way).with_updates(
+                name=f"way{way}-lanes{lane_count}", media_lanes=lane_count,
+                mem_port_width=2 * lane_count,
+            ),
         )
-        results[lane_count] = run_kernel(kernel_name, "mom", config=config,
-                                         workload=workload)
-    return results
+        for lane_count in lanes
+    ]
+    results = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(points)
+    return {lane_count: result for lane_count, result in zip(lanes, results)}
 
 
 def run_rob_ablation(
@@ -58,21 +65,25 @@ def run_rob_ablation(
     rob_sizes: Sequence[int] = (16, 32, 64, 128),
     way: int = 4,
     spec: Optional[WorkloadSpec] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[int, Dict[str, "object"]]:
     """Cycles for each ISA as the reorder-buffer size varies."""
-    kernel = get_kernel(kernel_name)
-    workload = kernel.make_workload(
-        spec if spec is not None else WorkloadSpec(scale=kernel.default_scale)
-    )
-    results: Dict[int, Dict[str, object]] = {}
-    for rob in rob_sizes:
-        config = MachineConfig.for_way(way).with_updates(
-            name=f"way{way}-rob{rob}", rob_size=rob
+    spec = resolve_spec(kernel_name, spec)
+    points = [
+        SweepPoint(
+            kernel=kernel_name, isa=isa, spec=spec,
+            config=MachineConfig.for_way(way).with_updates(
+                name=f"way{way}-rob{rob}", rob_size=rob),
         )
-        results[rob] = {
-            isa: run_kernel(kernel_name, isa, config=config, workload=workload)
-            for isa in ("scalar", "mmx", "mdmx", "mom")
-        }
+        for rob in rob_sizes
+        for isa in ISA_VARIANTS
+    ]
+    flat = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(points)
+    results: Dict[int, Dict[str, object]] = {}
+    for point, result in zip(points, flat):
+        results.setdefault(point.config.rob_size, {})[point.isa] = result
     return results
 
 
@@ -80,12 +91,20 @@ def run_trace_length_sensitivity(
     kernel_name: str,
     scales: Sequence[int] = (1, 2, 4, 8),
     way: int = 4,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[int, Dict[str, "object"]]:
     """Per-scale runs used to check that derived metrics are scale-stable."""
-    results: Dict[int, Dict[str, object]] = {}
     config = MachineConfig.for_way(way)
-    for scale in scales:
-        results[scale] = run_kernel_all_isas(
-            kernel_name, config=config, spec=WorkloadSpec(scale=scale)
-        )
+    points = [
+        SweepPoint(kernel=kernel_name, isa=isa, config=config,
+                   spec=WorkloadSpec(scale=scale))
+        for scale in scales
+        for isa in ISA_VARIANTS
+    ]
+    flat = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(points)
+    results: Dict[int, Dict[str, object]] = {}
+    for point, result in zip(points, flat):
+        results.setdefault(point.spec.scale, {})[point.isa] = result
     return results

@@ -3,19 +3,36 @@
 The paper evaluates all nine kernels on 1-, 2-, 4- and 8-way out-of-order
 cores with an idealized 1-cycle-latency memory and reports the speed-up of
 each multimedia ISA over the scalar (Alpha) code.
+
+The sweep itself is a :class:`~repro.sweep.SweepSpec` declaration executed
+by the shared :class:`~repro.sweep.SweepEngine`; pass ``jobs``/``cache_dir``
+(or a pre-configured engine) to parallelise or cache the regeneration.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.experiments.runner import run_kernel
-from repro.kernels.base import ISA_VARIANTS
-from repro.kernels.registry import get_kernel, kernel_names
+from repro.sweep import SweepEngine, SweepSpec, ensure_engine
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
-__all__ = ["run_figure4", "figure4_speedups"]
+__all__ = ["figure4_sweep", "run_figure4", "figure4_speedups"]
+
+
+def figure4_sweep(
+    kernels: Optional[Iterable[str]] = None,
+    ways: Sequence[int] = (1, 2, 4, 8),
+    spec: Optional[WorkloadSpec] = None,
+    mem_latency: int = 1,
+) -> SweepSpec:
+    """The Figure 4 sweep as a declarative spec (kernels x widths x ISAs)."""
+    return SweepSpec.make(
+        kernels=kernels,
+        configs=[MachineConfig.for_way(way, mem_latency=mem_latency)
+                 for way in ways],
+        spec=spec,
+    )
 
 
 def run_figure4(
@@ -23,38 +40,41 @@ def run_figure4(
     ways: Sequence[int] = (1, 2, 4, 8),
     spec: Optional[WorkloadSpec] = None,
     mem_latency: int = 1,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, Dict[int, "object"]]]:
     """Run the Figure 4 sweep.
 
-    Returns ``results[kernel][isa][way] -> RunResult``.  Each kernel uses one
-    shared workload across all ISAs and widths so speed-ups are apples to
-    apples.
+    Returns ``results[kernel][isa][way] -> PointResult``.  Each kernel uses
+    one shared (seeded, deterministic) workload across all ISAs and widths so
+    speed-ups are apples to apples.
     """
-    kernels = list(kernels) if kernels is not None else kernel_names()
+    engine = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir)
     results: Dict[str, Dict[str, Dict[int, object]]] = {}
-    for name in kernels:
-        kernel = get_kernel(name)
-        workload = kernel.make_workload(
-            spec if spec is not None else WorkloadSpec(scale=kernel.default_scale)
-        )
-        per_isa: Dict[str, Dict[int, object]] = {isa: {} for isa in ISA_VARIANTS}
-        for way in ways:
-            config = MachineConfig.for_way(way, mem_latency=mem_latency)
-            for isa in ISA_VARIANTS:
-                per_isa[isa][way] = run_kernel(name, isa, config=config,
-                                               workload=workload)
-        results[name] = per_isa
+    for result in engine.run(figure4_sweep(kernels, ways, spec, mem_latency)):
+        per_isa = results.setdefault(result.kernel, {})
+        per_isa.setdefault(result.isa, {})[result.point.config.issue_width] = result
     return results
 
 
 def figure4_speedups(results) -> Dict[str, Dict[str, Dict[int, float]]]:
-    """Reduce :func:`run_figure4` output to speed-up numbers over scalar."""
+    """Reduce :func:`run_figure4` output to speed-up numbers over scalar.
+
+    Tolerates partially-populated sweeps: a kernel with no scalar baseline
+    contributes no rows, and ISA variants or widths missing from the input
+    are skipped rather than raising ``KeyError``.
+    """
     speedups: Dict[str, Dict[str, Dict[int, float]]] = {}
     for kernel, per_isa in results.items():
+        baselines = per_isa.get("scalar", {})
         speedups[kernel] = {}
         for isa in ("mmx", "mdmx", "mom"):
-            speedups[kernel][isa] = {}
-            for way, run in per_isa[isa].items():
-                baseline = per_isa["scalar"][way]
-                speedups[kernel][isa][way] = baseline.cycles / run.cycles
+            per_way = {}
+            for way, run in per_isa.get(isa, {}).items():
+                baseline = baselines.get(way)
+                if baseline is not None:
+                    per_way[way] = baseline.cycles / run.cycles
+            if per_way:
+                speedups[kernel][isa] = per_way
     return speedups

@@ -3,19 +3,36 @@
 The paper varies the idealized memory latency over 1, 12 and 50 cycles
 (perfect L1, L2 hit, main memory) and reports execution cycles for the
 scalar, MMX, MDMX and MOM versions of every kernel on the 4-way core.
+
+The sweep is a :class:`~repro.sweep.SweepSpec` executed by the shared
+:class:`~repro.sweep.SweepEngine`; pass ``jobs``/``cache_dir`` (or a
+pre-configured engine) to parallelise or cache the regeneration.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence
 
-from repro.experiments.runner import run_kernel
-from repro.kernels.base import ISA_VARIANTS
-from repro.kernels.registry import get_kernel, kernel_names
+from repro.sweep import SweepEngine, SweepSpec, ensure_engine
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
-__all__ = ["run_figure5", "figure5_cycles", "figure5_slowdowns"]
+__all__ = ["figure5_sweep", "run_figure5", "figure5_cycles", "figure5_slowdowns"]
+
+
+def figure5_sweep(
+    kernels: Optional[Iterable[str]] = None,
+    latencies: Sequence[int] = (1, 12, 50),
+    way: int = 4,
+    spec: Optional[WorkloadSpec] = None,
+) -> SweepSpec:
+    """The Figure 5 sweep as a declarative spec (kernels x latencies x ISAs)."""
+    return SweepSpec.make(
+        kernels=kernels,
+        configs=[MachineConfig.for_way(way, mem_latency=latency)
+                 for latency in latencies],
+        spec=spec,
+    )
 
 
 def run_figure5(
@@ -23,22 +40,16 @@ def run_figure5(
     latencies: Sequence[int] = (1, 12, 50),
     way: int = 4,
     spec: Optional[WorkloadSpec] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, Dict[int, "object"]]]:
-    """Run the Figure 5 sweep: ``results[kernel][isa][latency] -> RunResult``."""
-    kernels = list(kernels) if kernels is not None else kernel_names()
+    """Run the Figure 5 sweep: ``results[kernel][isa][latency] -> PointResult``."""
+    engine = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir)
     results: Dict[str, Dict[str, Dict[int, object]]] = {}
-    for name in kernels:
-        kernel = get_kernel(name)
-        workload = kernel.make_workload(
-            spec if spec is not None else WorkloadSpec(scale=kernel.default_scale)
-        )
-        per_isa: Dict[str, Dict[int, object]] = {isa: {} for isa in ISA_VARIANTS}
-        for latency in latencies:
-            config = MachineConfig.for_way(way, mem_latency=latency)
-            for isa in ISA_VARIANTS:
-                per_isa[isa][latency] = run_kernel(name, isa, config=config,
-                                                   workload=workload)
-        results[name] = per_isa
+    for result in engine.run(figure5_sweep(kernels, latencies, way, spec)):
+        per_isa = results.setdefault(result.kernel, {})
+        per_isa.setdefault(result.isa, {})[result.point.config.mem_latency] = result
     return results
 
 

@@ -3,6 +3,10 @@
 The paper reports, for each kernel on the 4-way core with 1-cycle memory
 latency, the IPC, OPI, R, S, F, VLx and VLy of the scalar, MMX, MDMX and MOM
 versions (Tables 1 to 9).
+
+The underlying runs go through the shared :class:`~repro.sweep.SweepEngine`;
+pass ``jobs``/``cache_dir`` (or a pre-configured engine) to parallelise or
+cache the regeneration.
 """
 
 from __future__ import annotations
@@ -10,8 +14,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.metrics import KernelMetrics, compute_metrics
-from repro.experiments.runner import run_kernel_all_isas
-from repro.kernels.registry import kernel_names
+from repro.sweep import SweepEngine, SweepSpec, ensure_engine
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
@@ -31,15 +34,7 @@ TABLE_NUMBERS = {
 }
 
 
-def breakdown_for_kernel(
-    kernel_name: str,
-    way: int = 4,
-    mem_latency: int = 1,
-    spec: Optional[WorkloadSpec] = None,
-) -> Dict[str, KernelMetrics]:
-    """Compute one breakdown table (IPC / OPI / R / S / F / VLx / VLy)."""
-    config = MachineConfig.for_way(way, mem_latency=mem_latency)
-    runs = run_kernel_all_isas(kernel_name, config=config, spec=spec)
+def _metrics_from_runs(runs: Dict[str, "object"]) -> Dict[str, KernelMetrics]:
     baseline = runs["scalar"].sim
     return {
         isa: compute_metrics(run.sim, run.stats, baseline)
@@ -52,10 +47,34 @@ def run_breakdown_tables(
     way: int = 4,
     mem_latency: int = 1,
     spec: Optional[WorkloadSpec] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
 ) -> Dict[str, Dict[str, KernelMetrics]]:
     """Compute the full set of breakdown tables: ``tables[kernel][isa]``."""
-    kernels = list(kernels) if kernels is not None else kernel_names()
-    return {
-        name: breakdown_for_kernel(name, way=way, mem_latency=mem_latency, spec=spec)
-        for name in kernels
-    }
+    engine = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir)
+    sweep = SweepSpec.make(
+        kernels=kernels,
+        configs=[MachineConfig.for_way(way, mem_latency=mem_latency)],
+        spec=spec,
+    )
+    runs: Dict[str, Dict[str, object]] = {}
+    for result in engine.run(sweep):
+        runs.setdefault(result.kernel, {})[result.isa] = result
+    return {name: _metrics_from_runs(per_isa) for name, per_isa in runs.items()}
+
+
+def breakdown_for_kernel(
+    kernel_name: str,
+    way: int = 4,
+    mem_latency: int = 1,
+    spec: Optional[WorkloadSpec] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    engine: Optional[SweepEngine] = None,
+) -> Dict[str, KernelMetrics]:
+    """Compute one breakdown table (IPC / OPI / R / S / F / VLx / VLy)."""
+    return run_breakdown_tables(
+        kernels=[kernel_name], way=way, mem_latency=mem_latency, spec=spec,
+        jobs=jobs, cache_dir=cache_dir, engine=engine,
+    )[kernel_name]

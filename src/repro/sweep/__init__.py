@@ -1,0 +1,30 @@
+"""Declarative experiment sweeps with parallel execution and result caching.
+
+The sweep subsystem is the shared engine behind every experiment driver
+(Figure 4, Figure 5, the breakdown tables and the ablations):
+
+* :class:`~repro.sweep.spec.SweepSpec` — a declarative cartesian product of
+  kernels x ISAs x machine configurations x workload specs;
+* :class:`~repro.sweep.engine.SweepEngine` — expands a spec into points and
+  runs them, optionally over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (with a deterministic in-process fallback) and optionally backed by an
+  on-disk JSON result cache;
+* :class:`~repro.sweep.cache.ResultCache` — content-addressed storage of
+  simulation results keyed by a stable hash of (kernel, ISA, machine
+  configuration, workload spec, timing-model version).
+"""
+
+from repro.sweep.cache import ResultCache, point_key
+from repro.sweep.engine import PointResult, SweepEngine, ensure_engine
+from repro.sweep.spec import SweepPoint, SweepSpec, resolve_spec
+
+__all__ = [
+    "PointResult",
+    "ResultCache",
+    "SweepEngine",
+    "SweepPoint",
+    "SweepSpec",
+    "ensure_engine",
+    "point_key",
+    "resolve_spec",
+]

@@ -1,0 +1,224 @@
+"""The sweep engine: expand a spec, run its points, cache the results.
+
+The engine is the one place in the reproduction that knows *how* experiment
+points get executed:
+
+* serially in-process (the deterministic fallback, and the default),
+* or fanned out over a :class:`concurrent.futures.ProcessPoolExecutor` when
+  ``jobs > 1`` — each worker rebuilds its kernel workload from the (seeded,
+  deterministic) spec, so no large arrays cross the process boundary and
+  parallel results are bit-identical to serial ones,
+* optionally backed by an on-disk :class:`~repro.sweep.cache.ResultCache`,
+  so re-running a sweep whose points are already cached does zero
+  simulations.
+
+Execution failures in a worker pool (e.g. a sandbox that forbids fork) are
+not fatal: the engine falls back to the serial path and records the fact in
+:attr:`SweepEngine.last_fallback_reason`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.sweep.cache import ResultCache
+from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.timing.results import SimResult
+from repro.trace.stats import TraceStats
+
+__all__ = ["PointResult", "SweepEngine", "ensure_engine"]
+
+
+@dataclass
+class PointResult:
+    """Result of one sweep point: the timing outcome plus trace statistics.
+
+    ``build`` (the functional build, with the trace and verified outputs) is
+    only present for fresh in-process runs; cached and worker-pool results
+    carry ``None`` there.  ``checked`` records whether the run verified the
+    build against its golden reference (cached entries are only ever written
+    from verified runs, so they are always ``checked``).
+    """
+
+    point: SweepPoint
+    sim: SimResult
+    stats: TraceStats
+    cached: bool = False
+    build: Optional[object] = None
+    checked: bool = True
+
+    @property
+    def kernel(self) -> str:
+        return self.point.kernel
+
+    @property
+    def isa(self) -> str:
+        return self.point.isa
+
+    @property
+    def cycles(self) -> int:
+        return self.sim.cycles
+
+    @property
+    def correct(self) -> bool:
+        """Functional correctness of the build behind this result.
+
+        Without a retained build this is only knowable when the run (or the
+        cached run it came from) verified against the golden reference.
+        """
+        if self.build is not None:
+            return self.build.correct
+        return self.checked
+
+
+def _simulate_point(point: SweepPoint, check: bool) -> Tuple[SimResult, TraceStats, object]:
+    """Run one resolved point in the current process."""
+    # Local import: keeps module import light and avoids a cycle with the
+    # experiments layer, which imports the engine.
+    from repro.experiments.runner import run_kernel
+
+    run = run_kernel(point.kernel, point.isa, config=point.config,
+                     spec=point.spec, check=check)
+    return run.sim, run.stats, run.build
+
+
+def _pool_worker(args: Tuple[SweepPoint, bool]) -> Tuple[SimResult, TraceStats]:
+    """Top-level (picklable) worker for the process pool.
+
+    The functional build stays in the worker — only the compact result
+    records travel back to the parent.
+    """
+    point, check = args
+    sim, stats, _build = _simulate_point(point, check)
+    return sim, stats
+
+
+class SweepEngine:
+    """Runs sweep points with optional process parallelism and caching.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``jobs <= 1`` selects the deterministic
+        in-process path; ``jobs > 1`` uses a ``ProcessPoolExecutor``.
+    cache_dir:
+        Directory for the on-disk result cache; ``None`` disables caching.
+    check:
+        Verify every build against its NumPy golden reference (default on;
+        a run with wrong functional output never produces timing numbers).
+    version:
+        Timing-model version for cache keys (tests override this to
+        exercise invalidation); defaults to the live model version.
+    """
+
+    def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
+                 check: bool = True, version: Optional[str] = None) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = (ResultCache(cache_dir, version=version)
+                      if cache_dir else None)
+        self.check = check
+        #: Number of points actually simulated by the most recent run().
+        self.last_simulated = 0
+        #: Number of points served from cache by the most recent run().
+        self.last_cached = 0
+        #: Why the most recent run() fell back to serial execution (if it did).
+        self.last_fallback_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, sweep: Union[SweepSpec, Iterable[SweepPoint]],
+            keep_builds: bool = False) -> List[PointResult]:
+        """Execute a sweep and return one :class:`PointResult` per point,
+        in the sweep's deterministic expansion order.
+
+        ``keep_builds`` asks for the functional builds to be retained on the
+        results; it forces the in-process path (builds hold traces and NumPy
+        arrays that should not be shipped between processes).
+        """
+        points = [p.resolved() for p in
+                  (sweep.points() if isinstance(sweep, SweepSpec) else sweep)]
+        results: List[Optional[PointResult]] = [None] * len(points)
+        self.last_simulated = 0
+        self.last_cached = 0
+        self.last_fallback_reason = None
+
+        # Serve what we can from the cache.
+        todo: List[int] = []
+        for i, point in enumerate(points):
+            if self.cache is not None and not keep_builds:
+                cached = self.cache.get(point)
+                if cached is not None:
+                    sim, stats = cached
+                    results[i] = PointResult(point=point, sim=sim, stats=stats,
+                                             cached=True)
+                    continue
+            todo.append(i)
+        self.last_cached = len(points) - len(todo)
+
+        if todo:
+            use_pool = self.jobs > 1 and len(todo) > 1 and not keep_builds
+            if use_pool:
+                computed = self._run_pool([points[i] for i in todo])
+            else:
+                computed = None
+            if computed is None:
+                computed = self._run_serial([points[i] for i in todo],
+                                            keep_builds=keep_builds)
+            for i, result in zip(todo, computed):
+                results[i] = result
+                # Only verified results may enter the cache: entries carry no
+                # "unchecked" marker, so a check=False run must not poison the
+                # cache for later check=True engines.
+                if self.cache is not None and self.check:
+                    self.cache.put(result.point, result.sim, result.stats)
+            self.last_simulated = len(todo)
+
+        return results  # type: ignore[return-value]
+
+    def run_point(self, point: SweepPoint) -> PointResult:
+        """Convenience: run a single point."""
+        return self.run([point])[0]
+
+    # ------------------------------------------------------------------
+
+    def _run_serial(self, points: Sequence[SweepPoint],
+                    keep_builds: bool) -> List[PointResult]:
+        out = []
+        for point in points:
+            sim, stats, build = _simulate_point(point, self.check)
+            out.append(PointResult(point=point, sim=sim, stats=stats,
+                                   build=build if keep_builds else None,
+                                   checked=self.check))
+        return out
+
+    def _run_pool(self, points: Sequence[SweepPoint]) -> Optional[List[PointResult]]:
+        """Run points on a process pool; None if the pool cannot be used."""
+        args = [(point, self.check) for point in points]
+        try:
+            workers = min(self.jobs, len(points), (os.cpu_count() or 1) * 4)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                pairs = list(pool.map(_pool_worker, args, chunksize=1))
+        except (OSError, PermissionError, ImportError, BrokenProcessPool) as exc:
+            # Typical in sandboxes that forbid fork/semaphores: degrade to
+            # the deterministic serial path rather than failing the sweep.
+            self.last_fallback_reason = f"{type(exc).__name__}: {exc}"
+            return None
+        return [PointResult(point=point, sim=sim, stats=stats,
+                            checked=self.check)
+                for point, (sim, stats) in zip(points, pairs)]
+
+
+def ensure_engine(engine: Optional[SweepEngine], jobs: int = 1,
+                  cache_dir: Optional[str] = None) -> SweepEngine:
+    """Return ``engine`` if given, else a fresh one from the plain options.
+
+    Shared by every experiment driver that accepts either a pre-configured
+    engine or bare ``jobs``/``cache_dir`` keyword arguments.
+    """
+    if engine is not None:
+        return engine
+    return SweepEngine(jobs=jobs, cache_dir=cache_dir)

@@ -1,0 +1,107 @@
+"""Declarative sweep specifications.
+
+A :class:`SweepSpec` names *what* to run — the cartesian product of kernels,
+ISA variants, machine configurations and workload specs — without saying how
+(serially, in parallel, cached).  The :class:`~repro.sweep.engine.SweepEngine`
+expands it into :class:`SweepPoint`\\ s and executes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from repro.kernels.base import ISA_VARIANTS
+from repro.kernels.registry import get_kernel, kernel_names
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+__all__ = ["SweepPoint", "SweepSpec", "resolve_spec"]
+
+
+def resolve_spec(kernel_name: str, spec: Optional[WorkloadSpec]) -> WorkloadSpec:
+    """Resolve an optional workload spec to a concrete one.
+
+    ``None`` means "the kernel's default": every experiment driver historically
+    open-coded ``WorkloadSpec(scale=kernel.default_scale)`` — this helper is
+    now the single home of that rule, so all drivers and the cache key agree
+    on what the default workload is.
+    """
+    if spec is not None:
+        return spec
+    return WorkloadSpec(scale=get_kernel(kernel_name).default_scale)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (kernel, ISA, machine config, workload spec) simulation point.
+
+    ``spec`` may be ``None`` to mean the kernel's default workload; call
+    :meth:`resolved` before hashing or executing the point.
+    """
+
+    kernel: str
+    isa: str
+    config: MachineConfig
+    spec: Optional[WorkloadSpec] = None
+
+    def resolved(self) -> "SweepPoint":
+        """Return an equivalent point with a concrete workload spec."""
+        if self.spec is not None:
+            return self
+        return SweepPoint(kernel=self.kernel, isa=self.isa, config=self.config,
+                          spec=resolve_spec(self.kernel, None))
+
+    def label(self) -> str:
+        """Human-readable identification, used in progress/error messages."""
+        spec = self.spec
+        scale = spec.scale if spec is not None else "default"
+        return (f"{self.kernel}/{self.isa} on {self.config.name} "
+                f"(mem {self.config.mem_latency}, scale {scale})")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A cartesian product of kernels x ISAs x configs x workload specs.
+
+    ``kernels=None`` means all registered kernels; ``spec=None`` means each
+    kernel's default workload.  Expansion order is deterministic
+    (kernel-major, then config, then ISA) so serial and parallel runs return
+    results in the same order.
+    """
+
+    kernels: Optional[Tuple[str, ...]] = None
+    isas: Tuple[str, ...] = ISA_VARIANTS
+    configs: Tuple[MachineConfig, ...] = field(
+        default_factory=lambda: (MachineConfig.for_way(4),))
+    spec: Optional[WorkloadSpec] = None
+
+    @classmethod
+    def make(cls,
+             kernels: Optional[Iterable[str]] = None,
+             isas: Iterable[str] = ISA_VARIANTS,
+             configs: Optional[Iterable[MachineConfig]] = None,
+             spec: Optional[WorkloadSpec] = None) -> "SweepSpec":
+        """Normalising constructor accepting any iterables."""
+        return cls(
+            kernels=tuple(kernels) if kernels is not None else None,
+            isas=tuple(isas),
+            configs=tuple(configs) if configs is not None else (
+                MachineConfig.for_way(4),),
+            spec=spec,
+        )
+
+    def kernel_names(self) -> Tuple[str, ...]:
+        return self.kernels if self.kernels is not None else tuple(kernel_names())
+
+    def points(self) -> Iterator[SweepPoint]:
+        """Expand the product into resolved points, deterministically ordered."""
+        for kernel in self.kernel_names():
+            spec = resolve_spec(kernel, self.spec)
+            for config in self.configs:
+                for isa in self.isas:
+                    yield SweepPoint(kernel=kernel, isa=isa, config=config,
+                                     spec=spec)
+
+    def __len__(self) -> int:
+        return len(self.kernel_names()) * len(self.configs) * len(self.isas)

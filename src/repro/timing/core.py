@@ -31,7 +31,14 @@ from repro.timing.results import SimResult
 from repro.trace.container import Trace
 from repro.trace.instruction import DynInstr, RegRef
 
-__all__ = ["OutOfOrderCore", "simulate_trace"]
+__all__ = ["MODEL_VERSION", "OutOfOrderCore", "simulate_trace"]
+
+#: Version tag of the timing model's *numbers*.  Bump whenever a change can
+#: alter simulated cycle counts for any trace/configuration — the sweep
+#: result cache folds this into every key, so a bump invalidates all cached
+#: results.  Pure-performance refactors that preserve the numbers (checked
+#: by tests/test_golden_regression.py) must NOT bump it.
+MODEL_VERSION = "1"
 
 
 # Domain names used for issue queues.
@@ -94,6 +101,25 @@ class OutOfOrderCore:
             RegFile.VL: SlotPool("vl-regs", 8),
         }
 
+        # Fast-path lookup tables: functional-unit pool and issue queue per
+        # operation class.  Both are pure functions of the opclass, so
+        # resolving them once here removes two chains of enum-property
+        # checks (`is_memory`, `is_media`, ...) from the per-instruction
+        # simulation loop.
+        self._fu_by_class: Dict[OpClass, FunctionalUnitPool] = {}
+        self._queue_by_class: Dict[OpClass, SlotPool] = {}
+        for opclass in OpClass:
+            if opclass.is_memory:
+                fu = self._mem_ports
+            elif opclass is OpClass.IMUL:
+                fu = self._int_mul
+            elif opclass.is_media:
+                fu = self._media_fu
+            else:
+                fu = self._int_alu
+            self._fu_by_class[opclass] = fu
+            self._queue_by_class[opclass] = self._queues[_domain_of(opclass)]
+
         # Register readiness (architectural registers all ready at cycle 0).
         self._reg_ready: Dict[RegRef, int] = {}
 
@@ -112,14 +138,7 @@ class OutOfOrderCore:
     # ------------------------------------------------------------------
 
     def _fu_for(self, instr: DynInstr) -> FunctionalUnitPool:
-        opclass = instr.opclass
-        if opclass.is_memory:
-            return self._mem_ports
-        if opclass is OpClass.IMUL:
-            return self._int_mul
-        if opclass.is_media:
-            return self._media_fu
-        return self._int_alu
+        return self._fu_by_class[instr.opclass]
 
     def _occupancy_of(self, instr: DynInstr) -> int:
         """Cycles the instruction occupies its functional unit or port."""
@@ -168,48 +187,81 @@ class OutOfOrderCore:
         reg_ready = self._reg_ready
         self.timeline: list[tuple] = []
 
+        # The loop below is the simulator's hot path (it runs once per
+        # dynamic instruction across every sweep point), so everything
+        # loop-invariant is hoisted into locals: configuration fields,
+        # bound methods, the per-opclass lookup tables, and the stall
+        # counters (plain ints here, written back to the dict at the end).
+        fetch_width = cfg.fetch_width
+        rob_size = cfg.rob_size
+        commit_width = cfg.commit_width
+        fu_by_class = self._fu_by_class
+        queue_by_class = self._queue_by_class
+        rename_pools_get = self._rename_pools.get
+        reg_ready_get = reg_ready.get
+        bw_probe = self._issue_bw.probe
+        bw_next_slot = self._issue_bw.next_slot
+        rename_append = rename_times.append
+        commit_append = commit_times.append
+        timeline_append = self.timeline.append
+        media_acc = OpClass.MEDIA_ACC
+        acc_file = RegFile.ACC
+
+        stalls = self._stalls
+        stall_fetch_bw = stalls["fetch_bw"]
+        stall_rob = stalls["rob"]
+        stall_queue = stalls["issue_queue"]
+        stall_rename = stalls["rename_regs"]
+
+        # (occupancy, completion latency) per (opclass, vly, non_pipelined):
+        # both are pure functions of that triple for a fixed configuration,
+        # so each distinct shape is computed once per core instead of once
+        # per instruction.
+        op_timing: dict = {}
+
         total_ops = 0
         last_commit = 0
 
         for i, instr in enumerate(trace):
             total_ops += instr.ops
+            opclass = instr.opclass
+            dsts = instr.dsts
 
             # ---- rename ------------------------------------------------
             candidate = rename_times[-1] if rename_times else 0
-            if i >= cfg.fetch_width:
-                bw_bound = rename_times[i - cfg.fetch_width] + 1
+            if i >= fetch_width:
+                bw_bound = rename_times[i - fetch_width] + 1
                 if bw_bound > candidate:
-                    self._stalls["fetch_bw"] += bw_bound - candidate
+                    stall_fetch_bw += bw_bound - candidate
                     candidate = bw_bound
-            if i >= cfg.rob_size:
-                rob_bound = commit_times[i - cfg.rob_size]
+            if i >= rob_size:
+                rob_bound = commit_times[i - rob_size]
                 if rob_bound > candidate:
-                    self._stalls["rob"] += rob_bound - candidate
+                    stall_rob += rob_bound - candidate
                     candidate = rob_bound
 
-            domain = _domain_of(instr.opclass)
-            queue = self._queues[domain]
+            queue = queue_by_class[opclass]
             q_bound = queue.constrain(candidate)
             if q_bound > candidate:
-                self._stalls["issue_queue"] += q_bound - candidate
+                stall_queue += q_bound - candidate
                 candidate = q_bound
 
-            for dst in instr.dsts:
-                pool = self._rename_pools.get(dst.file)
+            for dst in dsts:
+                pool = rename_pools_get(dst.file)
                 if pool is None:
                     continue
                 r_bound = pool.constrain(candidate)
                 if r_bound > candidate:
-                    self._stalls["rename_regs"] += r_bound - candidate
+                    stall_rename += r_bound - candidate
                     candidate = r_bound
 
             rename_time = candidate
-            rename_times.append(rename_time)
+            rename_append(rename_time)
 
             # ---- ready (dataflow) ---------------------------------------
             ready = rename_time + 1
             for src in instr.srcs:
-                t = reg_ready.get(src, 0)
+                t = reg_ready_get(src, 0)
                 if t > ready:
                     ready = t
 
@@ -217,24 +269,30 @@ class OutOfOrderCore:
             # The instruction needs a functional unit (or memory port) for its
             # whole occupancy window and one issue slot in the start cycle;
             # iterate to a fixed point that satisfies both.
-            fu = self._fu_for(instr)
-            occupancy = self._occupancy_of(instr)
+            timing = op_timing.get((opclass, instr.vly, instr.non_pipelined))
+            if timing is None:
+                occupancy = self._occupancy_of(instr)
+                timing = (occupancy, self._completion_latency(instr, occupancy))
+                op_timing[(opclass, instr.vly, instr.non_pipelined)] = timing
+            occupancy, latency = timing
+
+            fu = fu_by_class[opclass]
+            fu_find_start = fu.find_start
             start = ready
             while True:
-                fu_start = fu.find_start(start, occupancy)
-                bw_start = self._issue_bw.probe(fu_start)
+                fu_start = fu_find_start(start, occupancy)
+                bw_start = bw_probe(fu_start)
                 if bw_start == fu_start:
                     issue_time = fu_start
                     break
                 start = bw_start
             fu.reserve(issue_time, occupancy)
-            self._issue_bw.next_slot(issue_time)
+            bw_next_slot(issue_time)
             queue.occupy(issue_time)
 
             # ---- complete ------------------------------------------------
-            complete = issue_time + self._completion_latency(instr, occupancy)
-            acc_forward = None
-            if instr.opclass is OpClass.MEDIA_ACC and instr.vly <= 1:
+            complete = issue_time + latency
+            if opclass is media_acc and instr.vly <= 1:
                 # MDMX-style accumulate: the accumulator feedback path lives in
                 # the final adder stage, so a dependent accumulate can issue the
                 # next cycle even though the full result (as read out into an
@@ -242,30 +300,39 @@ class OutOfOrderCore:
                 # "artificial recurrence" of section 3.1 at its real cost of
                 # one cycle per accumulate.
                 acc_forward = issue_time + occupancy
-            for dst in instr.dsts:
-                if acc_forward is not None and dst.file is RegFile.ACC:
-                    reg_ready[dst] = acc_forward
-                else:
+                for dst in dsts:
+                    reg_ready[dst] = acc_forward if dst.file is acc_file else complete
+            else:
+                for dst in dsts:
                     reg_ready[dst] = complete
 
             # ---- commit --------------------------------------------------
             commit = complete + 1
             if commit_times:
-                commit = max(commit, commit_times[-1])
-            if i >= cfg.commit_width:
-                commit = max(commit, commit_times[i - cfg.commit_width] + 1)
-            commit_times.append(commit)
+                prev_commit = commit_times[-1]
+                if prev_commit > commit:
+                    commit = prev_commit
+            if i >= commit_width:
+                cw_bound = commit_times[i - commit_width] + 1
+                if cw_bound > commit:
+                    commit = cw_bound
+            commit_append(commit)
             last_commit = commit
 
-            for dst in instr.dsts:
-                pool = self._rename_pools.get(dst.file)
+            for dst in dsts:
+                pool = rename_pools_get(dst.file)
                 if pool is not None:
                     pool.occupy(commit)
 
             if record_timeline:
-                self.timeline.append(
+                timeline_append(
                     (instr.opcode, rename_time, ready, issue_time, complete, commit)
                 )
+
+        stalls["fetch_bw"] = stall_fetch_bw
+        stalls["rob"] = stall_rob
+        stalls["issue_queue"] = stall_queue
+        stalls["rename_regs"] = stall_rename
 
         return SimResult(
             cycles=last_commit,

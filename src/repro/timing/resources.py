@@ -14,6 +14,7 @@ Three small trackers capture every structural constraint the model applies:
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Dict, List
 
 __all__ = ["FunctionalUnitPool", "BandwidthLimiter", "SlotPool"]
@@ -41,12 +42,20 @@ class FunctionalUnitPool:
     def find_start(self, ready: int, occupancy: int) -> int:
         """Earliest start cycle >= ``ready`` with a unit free for the whole
         occupancy window (without reserving it)."""
-        occupancy = max(1, occupancy)
+        busy_get = self._busy.get
+        count = self.count
+        if occupancy <= 1:
+            # Single-cycle occupancy (the overwhelmingly common case in
+            # scalar/MMX/MDMX traces): a plain forward scan.
+            start = ready
+            while busy_get(start, 0) >= count:
+                start += 1
+            return start
         start = ready
         while True:
             conflict = -1
             for cycle in range(start, start + occupancy):
-                if self._busy.get(cycle, 0) >= self.count:
+                if busy_get(cycle, 0) >= count:
                     conflict = cycle
                     break
             if conflict < 0:
@@ -56,8 +65,10 @@ class FunctionalUnitPool:
     def reserve(self, start: int, occupancy: int) -> None:
         """Mark one unit busy for ``occupancy`` cycles starting at ``start``."""
         occupancy = max(1, occupancy)
+        busy = self._busy
+        busy_get = busy.get
         for cycle in range(start, start + occupancy):
-            self._busy[cycle] = self._busy.get(cycle, 0) + 1
+            busy[cycle] = busy_get(cycle, 0) + 1
         self._busy_cycles += occupancy
 
     def acquire(self, ready: int, occupancy: int) -> int:
@@ -87,16 +98,21 @@ class BandwidthLimiter:
 
     def next_slot(self, earliest: int) -> int:
         """Find and reserve the first cycle >= ``earliest`` with a free slot."""
+        used = self._used
+        used_get = used.get
+        width = self.width
         cycle = earliest
-        while self._used.get(cycle, 0) >= self.width:
+        while used_get(cycle, 0) >= width:
             cycle += 1
-        self._used[cycle] = self._used.get(cycle, 0) + 1
+        used[cycle] = used_get(cycle, 0) + 1
         return cycle
 
     def probe(self, earliest: int) -> int:
         """First cycle >= ``earliest`` with a free slot, without reserving."""
+        used_get = self._used.get
+        width = self.width
         cycle = earliest
-        while self._used.get(cycle, 0) >= self.width:
+        while used_get(cycle, 0) >= width:
             cycle += 1
         return cycle
 
@@ -113,26 +129,30 @@ class SlotPool:
     def __init__(self, name: str, capacity: int) -> None:
         self.name = name
         self.capacity = max(0, capacity)
+        # Min-heap of occupant release times: eviction pops the earliest
+        # leavers in O(log n) instead of rebuilding a list per query.
         self._release_times: List[int] = []
 
     def constrain(self, candidate: int) -> int:
         """Earliest time >= ``candidate`` at which a slot is available.
 
         Occupants whose release time is <= the candidate are evicted; if the
-        pool is still full the candidate is pushed to the earliest release.
+        pool is still full the candidate is pushed to the earliest release
+        (whose occupant then leaves, freeing the slot the caller takes).
         """
         if self.capacity == 0:
             return candidate
+        heap = self._release_times
         # Drop occupants that have already left by the candidate time.
-        self._release_times = [t for t in self._release_times if t > candidate]
-        if len(self._release_times) < self.capacity:
+        while heap and heap[0] <= candidate:
+            heappop(heap)
+        if len(heap) < self.capacity:
             return candidate
-        earliest = min(self._release_times)
-        self._release_times.remove(earliest)
+        earliest = heappop(heap)
         return max(candidate, earliest)
 
     def occupy(self, release_time: int) -> None:
         """Record a new occupant that will release its slot at ``release_time``."""
         if self.capacity == 0:
             return
-        self._release_times.append(release_time)
+        heappush(self._release_times, release_time)

@@ -70,6 +70,22 @@ class TestFigure4:
         text = format_speedup_table(figure4_speedups(figure4_results), ways=(1, 4))
         assert "comp" in text and "MOM" in text
 
+    def test_speedups_tolerate_missing_isa_variants(self, figure4_results):
+        """A partially-populated sweep (missing ISA, missing width, or no
+        scalar baseline) reduces to whatever is computable — no KeyError."""
+        partial = {
+            kernel: {isa: dict(runs) for isa, runs in per_isa.items()}
+            for kernel, per_isa in figure4_results.items()
+        }
+        del partial["comp"]["mdmx"]          # missing ISA variant
+        del partial["comp"]["mom"][4]        # missing width
+        del partial["ltppar"]["scalar"]      # no baseline at all
+        speedups = figure4_speedups(partial)
+        assert "mdmx" not in speedups["comp"]
+        assert set(speedups["comp"]["mom"]) == {1}
+        assert speedups["comp"]["mmx"][1] > 1.0
+        assert speedups["ltppar"] == {}      # nothing computable without scalar
+
 
 class TestFigure5:
     def test_cycles_increase_with_latency(self, figure5_results):

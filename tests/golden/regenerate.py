@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Regenerate the golden cycle-count snapshot.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tests/golden/regenerate.py
+
+Only do this when a timing-model or kernel-builder change is *supposed* to
+move the numbers — and bump ``repro.timing.core.MODEL_VERSION`` in the same
+commit so cached sweep results are invalidated too.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.experiments.runner import run_kernel  # noqa: E402
+from repro.kernels.base import ISA_VARIANTS  # noqa: E402
+from repro.kernels.registry import get_kernel, kernel_names  # noqa: E402
+from repro.timing.config import MachineConfig  # noqa: E402
+from repro.workloads.generators import WorkloadSpec  # noqa: E402
+
+SEED = 1999
+MEM_LATENCY = 1
+OUT = os.path.join(os.path.dirname(__file__), "way4_lat1.json")
+
+
+def main() -> int:
+    config = MachineConfig.for_way(4, mem_latency=MEM_LATENCY)
+    results = {}
+    for name in kernel_names():
+        kernel = get_kernel(name)
+        spec = WorkloadSpec(scale=kernel.default_scale, seed=SEED)
+        workload = kernel.make_workload(spec)
+        for isa in ISA_VARIANTS:
+            run = run_kernel(name, isa, config=config, workload=workload)
+            results[f"{name}/{isa}"] = {
+                "cycles": run.sim.cycles,
+                "instructions": run.sim.instructions,
+                "operations": run.sim.operations,
+            }
+    payload = {
+        "config": "way4",
+        "mem_latency": MEM_LATENCY,
+        "seed": SEED,
+        "note": "seed-commit cycle counts; scale = kernel.default_scale",
+        "results": results,
+    }
+    with open(OUT, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {len(results)} points to {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

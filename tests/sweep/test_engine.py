@@ -1,0 +1,234 @@
+"""Tests of the sweep engine: parallel/serial/direct equivalence + caching.
+
+The central guarantee: however a point gets executed — serially in-process,
+on a worker pool, via the cache, or through a bare ``run_kernel`` call — the
+resulting :class:`~repro.timing.results.SimResult` is identical.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.runner import run_kernel
+from repro.sweep import (
+    PointResult,
+    ResultCache,
+    SweepEngine,
+    SweepPoint,
+    SweepSpec,
+    point_key,
+    resolve_spec,
+)
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+_SPEC = WorkloadSpec(scale=1, seed=7)
+_KERNELS = ("comp", "addblock")
+
+
+def small_sweep() -> SweepSpec:
+    return SweepSpec.make(
+        kernels=_KERNELS,
+        configs=[MachineConfig.for_way(1), MachineConfig.for_way(4)],
+        spec=_SPEC,
+    )
+
+
+class TestSpecExpansion:
+    def test_cartesian_product_size(self):
+        sweep = small_sweep()
+        points = list(sweep.points())
+        assert len(points) == len(sweep) == 2 * 2 * 4
+
+    def test_expansion_is_deterministic(self):
+        a = list(small_sweep().points())
+        b = list(small_sweep().points())
+        assert a == b
+
+    def test_kernels_none_means_all(self):
+        sweep = SweepSpec.make(spec=_SPEC)
+        assert len(sweep.kernel_names()) == 9
+
+    def test_resolve_spec_defaults_to_kernel_scale(self):
+        from repro.kernels.registry import get_kernel
+
+        spec = resolve_spec("comp", None)
+        assert spec.scale == get_kernel("comp").default_scale
+        assert resolve_spec("comp", _SPEC) is _SPEC
+
+    def test_points_are_resolved(self):
+        for point in SweepSpec.make(kernels=["comp"]).points():
+            assert point.spec is not None
+
+
+class TestEquivalence:
+    """Parallel engine == serial fallback == direct run_kernel calls."""
+
+    def test_serial_equals_parallel_equals_direct(self):
+        sweep = small_sweep()
+        points = list(sweep.points())
+
+        serial_engine = SweepEngine(jobs=1)
+        serial = serial_engine.run(sweep)
+
+        parallel_engine = SweepEngine(jobs=2)
+        parallel = parallel_engine.run(sweep)
+
+        direct = [run_kernel(p.kernel, p.isa, config=p.config, spec=p.spec).sim
+                  for p in points]
+
+        assert [r.sim for r in serial] == [r.sim for r in parallel]
+        assert [r.sim for r in serial] == direct
+        # stats travel with the results and agree too
+        assert [r.stats for r in serial] == [r.stats for r in parallel]
+
+    def test_forced_serial_fallback_matches(self, monkeypatch):
+        """If the pool cannot start, the engine degrades to identical serial
+        results instead of failing."""
+        import repro.sweep.engine as engine_mod
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("no fork for you")
+
+        monkeypatch.setattr(engine_mod, "ProcessPoolExecutor", broken_pool)
+        engine = SweepEngine(jobs=4)
+        results = engine.run(small_sweep())
+        assert engine.last_fallback_reason is not None
+        baseline = SweepEngine(jobs=1).run(small_sweep())
+        assert [r.sim for r in results] == [r.sim for r in baseline]
+
+    def test_keep_builds_serial_path(self):
+        engine = SweepEngine(jobs=4)
+        results = engine.run(
+            [SweepPoint("comp", "mom", MachineConfig.for_way(4), _SPEC)],
+            keep_builds=True,
+        )
+        assert results[0].build is not None
+        assert results[0].correct
+        assert results[0].sim.instructions == len(results[0].build.trace)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        sweep = small_sweep()
+        cold_engine = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+        cold = cold_engine.run(sweep)
+        assert cold_engine.last_simulated == len(sweep)
+        assert cold_engine.last_cached == 0
+        assert all(not r.cached for r in cold)
+
+        warm_engine = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+        warm = warm_engine.run(sweep)
+        assert warm_engine.last_simulated == 0, "warm re-run must do zero simulations"
+        assert warm_engine.last_cached == len(sweep)
+        assert all(r.cached for r in warm)
+        assert [r.sim for r in cold] == [r.sim for r in warm]
+        assert [r.stats for r in cold] == [r.stats for r in warm]
+
+    def test_version_bump_invalidates(self, tmp_path):
+        sweep = small_sweep()
+        v1 = SweepEngine(jobs=1, cache_dir=str(tmp_path), version="v1")
+        v1.run(sweep)
+        assert v1.last_simulated == len(sweep)
+
+        still_v1 = SweepEngine(jobs=1, cache_dir=str(tmp_path), version="v1")
+        still_v1.run(sweep)
+        assert still_v1.last_simulated == 0
+
+        v2 = SweepEngine(jobs=1, cache_dir=str(tmp_path), version="v2")
+        v2.run(sweep)
+        assert v2.last_simulated == len(sweep), "version bump must miss the cache"
+
+    def test_partial_cache(self, tmp_path):
+        cfg = MachineConfig.for_way(4)
+        a = SweepPoint("comp", "mom", cfg, _SPEC)
+        b = SweepPoint("comp", "mmx", cfg, _SPEC)
+        SweepEngine(jobs=1, cache_dir=str(tmp_path)).run([a])
+        engine = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+        results = engine.run([a, b])
+        assert engine.last_cached == 1
+        assert engine.last_simulated == 1
+        assert results[0].cached and not results[1].cached
+
+    def test_key_is_stable_and_sensitive(self):
+        cfg = MachineConfig.for_way(4)
+        point = SweepPoint("comp", "mom", cfg, _SPEC)
+        assert point_key(point) == point_key(point)
+        assert point_key(point) != point_key(
+            SweepPoint("comp", "mmx", cfg, _SPEC))
+        assert point_key(point) != point_key(
+            SweepPoint("comp", "mom", cfg.with_updates(mem_latency=12), _SPEC))
+        assert point_key(point) != point_key(
+            SweepPoint("comp", "mom", cfg, WorkloadSpec(scale=1, seed=8)))
+        assert point_key(point) != point_key(point, version="other")
+
+    def test_cache_entries_are_json_on_disk(self, tmp_path):
+        cfg = MachineConfig.for_way(4)
+        point = SweepPoint("comp", "mom", cfg, _SPEC)
+        SweepEngine(jobs=1, cache_dir=str(tmp_path)).run([point])
+        cache = ResultCache(str(tmp_path))
+        key = cache.key_for(point)
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        assert os.path.exists(path)
+        with open(path) as f:
+            entry = json.load(f)
+        assert entry["kernel"] == "comp"
+        assert entry["isa"] == "mom"
+        assert entry["sim"]["cycles"] > 0
+
+    def test_unchecked_results_never_enter_the_cache(self, tmp_path):
+        """check=False runs skip golden-reference verification, so their
+        results must not be served later to engines that promise checking."""
+        cfg = MachineConfig.for_way(4)
+        point = SweepPoint("comp", "mom", cfg, _SPEC)
+        unchecked = SweepEngine(jobs=1, cache_dir=str(tmp_path), check=False)
+        results = unchecked.run([point])
+        assert results[0].checked is False
+
+        checking = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+        verified = checking.run([point])
+        assert checking.last_cached == 0, "unchecked result leaked into cache"
+        assert checking.last_simulated == 1
+        assert verified[0].checked and verified[0].correct
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cfg = MachineConfig.for_way(4)
+        point = SweepPoint("comp", "mom", cfg, _SPEC)
+        engine = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+        engine.run([point])
+        key = engine.cache.key_for(point)
+        path = os.path.join(str(tmp_path), key[:2], key + ".json")
+        with open(path, "w") as f:
+            f.write("{not json")
+        again = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+        results = again.run([point])
+        assert again.last_simulated == 1
+        assert results[0].sim.cycles > 0
+
+
+class TestFigure4ThroughEngine:
+    """Acceptance: the Figure 4 sweep via the engine with jobs=4 matches the
+    golden (seed sequential) cycle counts, and a warm re-run simulates
+    nothing."""
+
+    def test_parallel_figure4_matches_golden_snapshot(self, tmp_path):
+        from repro.experiments.figure4 import run_figure4
+
+        golden_path = os.path.join(os.path.dirname(__file__), "..", "golden",
+                                   "way4_lat1.json")
+        with open(golden_path) as f:
+            golden = json.load(f)["results"]
+
+        engine = SweepEngine(jobs=4, cache_dir=str(tmp_path))
+        results = run_figure4(kernels=["comp", "h2v2"], ways=(4,),
+                              engine=engine)
+        for kernel, per_isa in results.items():
+            for isa, per_way in per_isa.items():
+                assert per_way[4].cycles == golden[f"{kernel}/{isa}"]["cycles"]
+
+        warm = SweepEngine(jobs=4, cache_dir=str(tmp_path))
+        run_figure4(kernels=["comp", "h2v2"], ways=(4,), engine=warm)
+        assert warm.last_simulated == 0

@@ -56,3 +56,37 @@ class TestCommands:
         assert main(["tables", "--kernels", "addblock", "--scale", "1"]) == 0
         out = capsys.readouterr().out
         assert "Table 7" in out and "MDMX" in out
+
+    def test_sweep_subset(self, capsys):
+        assert main(["sweep", "--kernels", "comp", "--isas", "scalar", "mom",
+                     "--ways", "1", "4", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "comp" in out and "way4" in out and "mom" in out
+
+    def test_sweep_cache_flags(self, capsys, tmp_path):
+        argv = ["sweep", "--kernels", "comp", "--isas", "mom", "--scale", "1",
+                "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        assert "simulated 1 point(s), 0 from cache" in capsys.readouterr().out
+        assert main(argv) == 0
+        assert "simulated 0 point(s), 1 from cache" in capsys.readouterr().out
+
+    def test_sweep_seed_applies_without_scale(self, capsys, tmp_path):
+        """--seed must flow into the workload spec even when each kernel
+        keeps its default scale (regression: it used to be ignored)."""
+        import json
+        import os
+
+        from repro.kernels.registry import get_kernel
+
+        assert main(["sweep", "--kernels", "comp", "--isas", "scalar",
+                     "--seed", "7", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        entries = []
+        for root, _dirs, files in os.walk(tmp_path):
+            for name in files:
+                with open(os.path.join(root, name)) as f:
+                    entries.append(json.load(f))
+        assert len(entries) == 1
+        assert entries[0]["workload"]["seed"] == 7
+        assert entries[0]["workload"]["scale"] == get_kernel("comp").default_scale

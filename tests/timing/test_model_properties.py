@@ -12,7 +12,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.isa.opclasses import OpClass, RegFile
 from repro.timing.config import MachineConfig
-from repro.timing.core import simulate_trace
+from repro.timing.core import OutOfOrderCore, simulate_trace
 from repro.trace.container import Trace
 from repro.trace.instruction import DynInstr, RegRef
 
@@ -89,3 +89,99 @@ def test_more_media_lanes_never_slower(trace):
 def test_simulation_is_deterministic(trace):
     cfg = MachineConfig.for_way(4)
     assert simulate_trace(trace, cfg).cycles == simulate_trace(trace, cfg).cycles
+
+
+# ----------------------------------------------------------------------
+# Recorded-timeline invariants.  These hold exactly (not approximately):
+# they are structural properties of the pipeline model.
+
+def _timeline(trace, config):
+    core = OutOfOrderCore(config)
+    core.run(trace, record_timeline=True)
+    return core.timeline
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_trace())
+def test_commit_times_monotone_nondecreasing(trace):
+    """Commit is in-order: recorded commit times never go backwards."""
+    timeline = _timeline(trace, MachineConfig.for_way(4))
+    commits = [row[5] for row in timeline]
+    assert all(b >= a for a, b in zip(commits, commits[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_trace())
+def test_pipeline_stage_ordering(trace):
+    """Every instruction obeys rename <= ready <= issue <= complete <= commit."""
+    for config in (MachineConfig.for_way(1), MachineConfig.for_way(4)):
+        for opcode, rename, ready, issue, complete, commit in _timeline(trace, config):
+            assert rename <= ready <= issue <= complete <= commit, opcode
+            # and the stages are causally separated where the model says so:
+            assert ready >= rename + 1, opcode     # rename -> ready takes a cycle
+            assert complete >= issue + 1, opcode   # every op has >= 1 cycle latency
+            assert commit >= complete + 1, opcode  # complete -> commit takes a cycle
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_trace())
+def test_rename_times_monotone_nondecreasing(trace):
+    """Rename is in-order too: the rename column never goes backwards."""
+    timeline = _timeline(trace, MachineConfig.for_way(2))
+    renames = [row[1] for row in timeline]
+    assert all(b >= a for a, b in zip(renames, renames[1:]))
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_trace())
+def test_stall_accounting_is_nonnegative(trace):
+    result = simulate_trace(trace, MachineConfig.for_way(2))
+    assert set(result.stall_breakdown) == {"rob", "issue_queue", "rename_regs",
+                                           "fetch_bw"}
+    assert all(isinstance(v, int) and v >= 0
+               for v in result.stall_breakdown.values())
+
+
+# ----------------------------------------------------------------------
+# Memory-latency monotonicity.  The interval approximation is not *exactly*
+# monotone (a load completing later can leave an earlier FU slot free for an
+# independent instruction), but any improvement is bounded by a few cycles —
+# the same tolerance the width-monotonicity tests above use.
+
+_LATENCY_TOLERANCE = 3
+
+
+@settings(max_examples=25, deadline=None)
+@given(trace=random_trace())
+def test_cycles_never_improve_as_mem_latency_grows(trace):
+    """Across a whole chain of latencies, cycles never drop by more than the
+    interval-model tolerance at any step."""
+    cfg = MachineConfig.for_way(4)
+    prev = None
+    for latency in (1, 5, 12, 50):
+        cycles = simulate_trace(trace, cfg.with_updates(mem_latency=latency)).cycles
+        if prev is not None:
+            assert cycles >= prev - _LATENCY_TOLERANCE, (
+                f"latency {latency}: {cycles} cycles vs {prev} at the previous "
+                f"(lower) latency")
+        prev = cycles
+
+
+def test_cycles_never_improve_with_latency_on_real_kernels():
+    """The same monotonicity on the real kernel traces (deterministic, all
+    nine kernels x four ISAs, tolerance down at the single-cycle level)."""
+    from repro.experiments.runner import run_kernel
+    from repro.kernels.base import ISA_VARIANTS
+    from repro.kernels.registry import get_kernel, kernel_names
+    from repro.workloads.generators import WorkloadSpec
+
+    for name in kernel_names():
+        spec = WorkloadSpec(scale=1)
+        for isa in ISA_VARIANTS:
+            prev = None
+            for latency in (1, 12, 50):
+                cfg = MachineConfig.for_way(4, mem_latency=latency)
+                cycles = run_kernel(name, isa, config=cfg, spec=spec).cycles
+                if prev is not None:
+                    assert cycles >= prev - 2, (name, isa, latency, prev, cycles)
+                prev = cycles
