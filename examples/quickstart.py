@@ -10,6 +10,30 @@ This is the five-minute tour of the public API:
 4. derive the paper's metrics (IPC, OPI, R, S, F, VLx, VLy).
 
 Run:  python examples/quickstart.py [kernel] [scale]
+
+The same stack is scriptable from the shell; a typical session::
+
+    $ python -m repro --version
+    repro 1.0.0 (timing model v1, front end v1)
+
+    $ python -m repro figure4 --jobs 4 --cache-dir .sweep-cache
+    ... speed-up table ...
+    [sweep] 144 point(s) simulated, 0 from cache; 108 trace hit(s),
+    36 trace build(s) (.sweep-cache)
+
+    $ python -m repro cache stats --cache-dir .sweep-cache
+    cache root: .sweep-cache
+      results     144 entries, 215.3 KiB
+      traces       36 entries, 5.6 MiB
+      total       180 entries, 5.8 MiB
+      oldest entry: 0.0 day(s) old
+
+    $ python -m repro cache gc --cache-dir .sweep-cache --max-mb 4
+    evicted 9 entries (2.1 MiB freed); 171 kept (3.7 MiB)
+
+(each kernel's trace is built once for its first machine configuration and
+served from the trace cache for the other three widths — and by any warm
+re-run, in any process, until ``repro cache gc``/``clear`` evicts it).
 """
 
 from __future__ import annotations

@@ -6,6 +6,7 @@ kernels and all four ISAs, prints the cycle counts and the slow-down of each
 ISA from the 1-cycle to the 50-cycle design point.
 
 Run:  python examples/run_figure5.py [scale] [--jobs N] [--cache-dir DIR]
+                                     [--stream-jsonl PATH]
 """
 
 from __future__ import annotations
@@ -14,7 +15,8 @@ import argparse
 import time
 
 from repro.analysis.report import format_latency_table
-from repro.cli import add_sweep_arguments, engine_from_args, engine_summary
+from repro.cli import (add_sweep_arguments, engine_from_args, engine_summary,
+                       make_on_result)
 from repro.experiments.figure5 import figure5_cycles, figure5_slowdowns, run_figure5
 from repro.workloads.generators import WorkloadSpec
 
@@ -25,7 +27,11 @@ def main() -> int:
     spec = WorkloadSpec(scale=args.scale) if args.scale else None
     engine = engine_from_args(args)
     start = time.time()
-    results = run_figure5(spec=spec, engine=engine)
+    on_result, finish = make_on_result(args, total=9 * 3 * 4)
+    try:
+        results = run_figure5(spec=spec, engine=engine, on_result=on_result)
+    finally:
+        finish()
     print(format_latency_table(figure5_cycles(results)))
 
     print("\nSlow-down from 1-cycle to 50-cycle memory latency:")

@@ -3,6 +3,7 @@
 kernel and ISA on the 4-way core with perfect (1-cycle) memory.
 
 Run:  python examples/run_tables.py [scale] [--jobs N] [--cache-dir DIR]
+                                    [--stream-jsonl PATH]
 """
 
 from __future__ import annotations
@@ -11,7 +12,8 @@ import argparse
 import time
 
 from repro.analysis.report import format_breakdown_table
-from repro.cli import add_sweep_arguments, engine_from_args, engine_summary
+from repro.cli import (add_sweep_arguments, engine_from_args, engine_summary,
+                       make_on_result)
 from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
 from repro.workloads.generators import WorkloadSpec
 
@@ -22,7 +24,12 @@ def main() -> int:
     spec = WorkloadSpec(scale=args.scale) if args.scale else None
     engine = engine_from_args(args)
     start = time.time()
-    tables = run_breakdown_tables(spec=spec, engine=engine)
+    on_result, finish = make_on_result(args, total=9 * 4)
+    try:
+        tables = run_breakdown_tables(spec=spec, engine=engine,
+                                      on_result=on_result)
+    finally:
+        finish()
     for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
         print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
         print(format_breakdown_table(kernel, tables[kernel]))

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links resolve to real files.
+
+Scans the given markdown files (and/or directories of ``*.md``) for inline
+``[text](target)`` links, ignores external schemes (``http(s)://``,
+``mailto:``) and pure in-page anchors, and verifies every relative target
+exists on disk relative to the file containing the link.  Exits non-zero
+listing every broken link — CI runs this over ``README.md`` and ``docs/``.
+
+Usage::
+
+    python scripts/check_links.py README.md docs
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+# Inline links: [text](target).  Deliberately simple — no reference-style
+# links are used in this repository, and image links share the same syntax.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_markdown_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of markdown files."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files.extend(os.path.join(root, name) for name in names
+                             if name.endswith(".md"))
+        else:
+            files.append(path)
+    return sorted(set(files))
+
+
+def check_file(path: str) -> List[Tuple[int, str]]:
+    """Return ``(line_number, target)`` for every broken link in ``path``."""
+    broken: List[Tuple[int, str]] = []
+    base = os.path.dirname(os.path.abspath(path))
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in _LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                # Strip an in-page anchor from a file target.
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, target_path))
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main(argv=None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    files = iter_markdown_files(args)
+    if not files:
+        print("no markdown files found", file=sys.stderr)
+        return 2
+
+    failures = 0
+    for path in files:
+        for lineno, target in check_file(path):
+            print(f"{path}:{lineno}: broken link -> {target}",
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"\n{failures} broken link(s) across {len(files)} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"all links resolve across {len(files)} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,15 +9,22 @@ The CLI exposes the experiment drivers without writing any Python:
 * ``tables``   — regenerate the Tables 1-9 breakdowns.
 * ``sweep``    — run an arbitrary kernels x ISAs x widths x latencies sweep
   through the shared engine.
+* ``cache``    — inspect / garbage-collect / clear the on-disk caches
+  (``repro cache stats|gc|clear --cache-dir DIR``).
 
-Every sweep-backed command accepts ``--jobs N`` (process-parallel execution)
-and ``--cache-dir DIR`` (on-disk result cache; warm re-runs do zero
-simulations).
+Every sweep-backed command accepts ``--jobs N`` (process-parallel
+execution), ``--cache-dir DIR`` (on-disk result + trace caches; warm
+re-runs do zero simulations, warm *misses* do zero trace builds) and
+``--stream-jsonl PATH`` (append one JSON line per point as it completes).
+A live ``done/total`` progress line is written to stderr when it is a TTY.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import sys
+import time
 from dataclasses import replace
 from typing import Optional, Sequence
 
@@ -33,12 +40,23 @@ from repro.experiments.runner import run_kernel_all_isas
 from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
 from repro.kernels.base import ISA_VARIANTS
 from repro.kernels.registry import KERNELS, kernel_names
-from repro.sweep import SweepEngine, SweepPoint, resolve_spec
+from repro.sweep import (PointResult, SweepEngine, SweepPoint, cache_stats,
+                         clear_cache, gc_cache, resolve_spec)
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
 __all__ = ["add_sweep_arguments", "build_parser", "engine_from_args",
-           "engine_summary", "main"]
+           "engine_summary", "main", "make_on_result", "version_string"]
+
+
+def version_string() -> str:
+    """The ``repro --version`` banner: package, model and builder versions."""
+    import repro
+    from repro.frontend.builders import BUILDER_VERSION
+    from repro.timing.core import MODEL_VERSION
+
+    return (f"repro {repro.__version__} "
+            f"(timing model v{MODEL_VERSION}, front end v{BUILDER_VERSION})")
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -46,8 +64,11 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for the sweep engine "
                              "(default 1 = serial in-process)")
     parser.add_argument("--cache-dir", default=None,
-                        help="directory for the on-disk result cache "
-                             "(default: no caching)")
+                        help="directory for the on-disk result + trace "
+                             "caches (default: no caching)")
+    parser.add_argument("--stream-jsonl", default=None, metavar="PATH",
+                        help="append one JSON line per sweep point to PATH "
+                             "as results complete")
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser,
@@ -70,10 +91,81 @@ def engine_summary(engine: SweepEngine) -> str:
     """One-line account of the engine's most recent run."""
     summary = (f"{engine.last_simulated} point(s) simulated, "
                f"{engine.last_cached} from cache")
+    if engine.trace_cache is not None:
+        summary += (f"; {engine.last_trace_hits} trace hit(s), "
+                    f"{engine.last_trace_builds} trace build(s)")
     if engine.last_fallback_reason:
         summary += (f"; worker pool unavailable, ran serially "
                     f"({engine.last_fallback_reason})")
     return summary
+
+
+class _ProgressLine:
+    """Live ``done/total`` progress on stderr (TTY only, ``\\r``-updated)."""
+
+    def __init__(self, total: int, enabled: Optional[bool] = None) -> None:
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self.started = time.time()
+        self.enabled = (sys.stderr.isatty() if enabled is None else enabled)
+
+    def update(self, result: PointResult) -> None:
+        self.done += 1
+        self.cached += 1 if result.cached else 0
+        if not self.enabled:
+            return
+        elapsed = time.time() - self.started
+        sys.stderr.write(
+            f"\r[sweep] {self.done}/{self.total} point(s) done "
+            f"({self.cached} cached, {elapsed:.1f}s) "
+            f"last: {result.kernel}/{result.isa}\x1b[K")
+        sys.stderr.flush()
+
+    def finish(self) -> None:
+        if self.enabled and self.done:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
+
+
+def make_on_result(args: argparse.Namespace, total: int):
+    """Build the streaming ``on_result`` callback a command should pass to
+    its experiment driver, honouring ``--stream-jsonl`` and TTY progress.
+
+    Returns ``(on_result, finish)`` — call ``finish()`` after the sweep to
+    close the JSONL file and terminate the progress line.  ``on_result`` is
+    ``None`` when neither sink is active.
+    """
+    progress = _ProgressLine(total)
+    stream_path = getattr(args, "stream_jsonl", None)
+    stream = open(stream_path, "a", encoding="utf-8") if stream_path else None
+
+    def on_result(result: PointResult) -> None:
+        progress.update(result)
+        if stream is not None:
+            stream.write(json.dumps({
+                "index": result.index,
+                "kernel": result.kernel,
+                "isa": result.isa,
+                "config": result.point.config.name,
+                "mem_latency": result.point.config.mem_latency,
+                "cycles": result.sim.cycles,
+                "instructions": result.sim.instructions,
+                "operations": result.sim.operations,
+                "ipc": result.sim.ipc,
+                "cached": result.cached,
+                "trace_cached": result.trace_cached,
+            }, sort_keys=True) + "\n")
+            stream.flush()
+
+    def finish() -> None:
+        progress.finish()
+        if stream is not None:
+            stream.close()
+
+    if stream is None and not progress.enabled:
+        return None, finish
+    return on_result, finish
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Reproduction of the MOM matrix SIMD ISA study (SC'99)",
     )
+    parser.add_argument("--version", action="version", version=version_string())
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list the available kernels")
@@ -123,6 +216,22 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=1999)
     _add_engine_flags(sweep_p)
 
+    cache_p = sub.add_parser(
+        "cache", help="inspect or prune the on-disk result/trace caches")
+    cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (("stats", "show entry counts and sizes"),
+                            ("gc", "evict entries by age and/or total size"),
+                            ("clear", "remove every cached entry")):
+        sub_p = cache_sub.add_parser(name, help=help_text)
+        sub_p.add_argument("--cache-dir", required=True,
+                           help="cache root (as passed to the sweep commands)")
+        if name == "gc":
+            sub_p.add_argument("--max-mb", type=float, default=None,
+                               help="keep the cache at or under this many "
+                                    "megabytes (oldest entries evicted first)")
+            sub_p.add_argument("--max-age-days", type=float, default=None,
+                               help="evict entries older than this many days")
+
     return parser
 
 
@@ -133,13 +242,13 @@ def _spec(scale: Optional[int], seed: int = 1999) -> Optional[WorkloadSpec]:
 
 
 def _print_engine_summary(engine: SweepEngine) -> None:
+    """Print :func:`engine_summary` (the single formatter of the engine's
+    counters) plus the cache location, when there is anything to say."""
     if engine.cache is not None:
-        print(f"\n[sweep] simulated {engine.last_simulated} point(s), "
-              f"{engine.last_cached} from cache "
+        print(f"\n[sweep] {engine_summary(engine)} "
               f"({engine.cache.cache_dir})")
-    if engine.last_fallback_reason:
-        print(f"[sweep] worker pool unavailable, ran serially: "
-              f"{engine.last_fallback_reason}")
+    elif engine.last_fallback_reason:
+        print(f"\n[sweep] {engine_summary(engine)}")
 
 
 def _cmd_list() -> int:
@@ -162,10 +271,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_count(kernels: Optional[Sequence[str]]) -> int:
+    return len(kernels) if kernels is not None else len(kernel_names())
+
+
 def _cmd_figure4(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
-    results = run_figure4(kernels=args.kernels, ways=tuple(args.ways),
-                          spec=_spec(args.scale), engine=engine)
+    total = _kernel_count(args.kernels) * len(args.ways) * len(ISA_VARIANTS)
+    on_result, finish = make_on_result(args, total)
+    try:
+        results = run_figure4(kernels=args.kernels, ways=tuple(args.ways),
+                              spec=_spec(args.scale), engine=engine,
+                              on_result=on_result)
+    finally:
+        finish()
     print(format_speedup_table(figure4_speedups(results), ways=tuple(args.ways)))
     _print_engine_summary(engine)
     return 0
@@ -173,8 +292,16 @@ def _cmd_figure4(args: argparse.Namespace) -> int:
 
 def _cmd_figure5(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
-    results = run_figure5(kernels=args.kernels, latencies=tuple(args.latencies),
-                          spec=_spec(args.scale), engine=engine)
+    total = (_kernel_count(args.kernels) * len(args.latencies)
+             * len(ISA_VARIANTS))
+    on_result, finish = make_on_result(args, total)
+    try:
+        results = run_figure5(kernels=args.kernels,
+                              latencies=tuple(args.latencies),
+                              spec=_spec(args.scale), engine=engine,
+                              on_result=on_result)
+    finally:
+        finish()
     print(format_latency_table(figure5_cycles(results),
                                latencies=tuple(args.latencies)))
     print("\nSlow-down from the lowest to the highest latency:")
@@ -187,8 +314,14 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 
 def _cmd_tables(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
-    tables = run_breakdown_tables(kernels=args.kernels, way=args.way,
-                                  spec=_spec(args.scale), engine=engine)
+    total = _kernel_count(args.kernels) * len(ISA_VARIANTS)
+    on_result, finish = make_on_result(args, total)
+    try:
+        tables = run_breakdown_tables(kernels=args.kernels, way=args.way,
+                                      spec=_spec(args.scale), engine=engine,
+                                      on_result=on_result)
+    finally:
+        finish()
     for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
         print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
         print(format_breakdown_table(kernel, tables[kernel]))
@@ -212,7 +345,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for config in configs
         for isa in args.isas
     ]
-    results = engine.run(points)
+    on_result, finish = make_on_result(args, len(points))
+    try:
+        results = engine.run(points, on_result=on_result)
+    finally:
+        finish()
     print(f"{'kernel':10s} {'isa':7s} {'config':8s} {'mem':>4s} "
           f"{'cycles':>10s} {'instrs':>8s} {'IPC':>6s}  cached")
     for r in results:
@@ -222,6 +359,51 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
               f"{'yes' if r.cached else 'no'}")
     _print_engine_summary(engine)
     return 0
+
+
+def _format_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n:.1f} GiB"  # pragma: no cover - unreachable
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    if args.cache_command == "stats":
+        stats = cache_stats(args.cache_dir)
+        print(f"cache root: {stats.cache_dir}")
+        for section in ("results", "traces"):
+            print(f"  {section:8s} {stats.entries[section]:6d} entr"
+                  f"{'y' if stats.entries[section] == 1 else 'ies'}, "
+                  f"{_format_bytes(stats.bytes[section])}")
+        print(f"  total    {stats.total_entries:6d} entr"
+              f"{'y' if stats.total_entries == 1 else 'ies'}, "
+              f"{_format_bytes(stats.total_bytes)}")
+        if stats.oldest_mtime is not None:
+            age = time.time() - stats.oldest_mtime
+            print(f"  oldest entry: {age / 86400:.1f} day(s) old")
+        return 0
+    if args.cache_command == "gc":
+        max_bytes = (int(args.max_mb * 1024 * 1024)
+                     if args.max_mb is not None else None)
+        max_age = (args.max_age_days * 86400
+                   if args.max_age_days is not None else None)
+        report = gc_cache(args.cache_dir, max_bytes=max_bytes,
+                          max_age_seconds=max_age)
+        print(f"evicted {report.removed} entr"
+              f"{'y' if report.removed == 1 else 'ies'} "
+              f"({_format_bytes(report.bytes_freed)} freed); "
+              f"{report.kept} kept ({_format_bytes(report.bytes_kept)})")
+        return 0
+    if args.cache_command == "clear":
+        report = clear_cache(args.cache_dir)
+        print(f"cleared {report.removed} entr"
+              f"{'y' if report.removed == 1 else 'ies'} "
+              f"({_format_bytes(report.bytes_freed)} freed)")
+        return 0
+    raise AssertionError(
+        f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -239,4 +421,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_tables(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -21,10 +21,11 @@ to parallelise or cache them).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from repro.kernels.base import ISA_VARIANTS
-from repro.sweep import SweepEngine, SweepPoint, ensure_engine, resolve_spec
+from repro.sweep import (PointResult, SweepEngine, SweepPoint, ensure_engine,
+                         resolve_spec)
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
@@ -43,6 +44,7 @@ def run_lane_ablation(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     engine: Optional[SweepEngine] = None,
+    on_result: Optional[Callable[[PointResult], None]] = None,
 ) -> Dict[int, "object"]:
     """MOM cycles as the number of vector lanes per multimedia FU grows."""
     spec = resolve_spec(kernel_name, spec)
@@ -56,7 +58,8 @@ def run_lane_ablation(
         )
         for lane_count in lanes
     ]
-    results = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(points)
+    results = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(
+        points, on_result=on_result)
     return {lane_count: result for lane_count, result in zip(lanes, results)}
 
 
@@ -68,6 +71,7 @@ def run_rob_ablation(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     engine: Optional[SweepEngine] = None,
+    on_result: Optional[Callable[[PointResult], None]] = None,
 ) -> Dict[int, Dict[str, "object"]]:
     """Cycles for each ISA as the reorder-buffer size varies."""
     spec = resolve_spec(kernel_name, spec)
@@ -80,7 +84,8 @@ def run_rob_ablation(
         for rob in rob_sizes
         for isa in ISA_VARIANTS
     ]
-    flat = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(points)
+    flat = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(
+        points, on_result=on_result)
     results: Dict[int, Dict[str, object]] = {}
     for point, result in zip(points, flat):
         results.setdefault(point.config.rob_size, {})[point.isa] = result
@@ -94,6 +99,7 @@ def run_trace_length_sensitivity(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     engine: Optional[SweepEngine] = None,
+    on_result: Optional[Callable[[PointResult], None]] = None,
 ) -> Dict[int, Dict[str, "object"]]:
     """Per-scale runs used to check that derived metrics are scale-stable."""
     config = MachineConfig.for_way(way)
@@ -103,7 +109,8 @@ def run_trace_length_sensitivity(
         for scale in scales
         for isa in ISA_VARIANTS
     ]
-    flat = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(points)
+    flat = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir).run(
+        points, on_result=on_result)
     results: Dict[int, Dict[str, object]] = {}
     for point, result in zip(points, flat):
         results.setdefault(point.spec.scale, {})[point.isa] = result

@@ -11,9 +11,9 @@ by the shared :class:`~repro.sweep.SweepEngine`; pass ``jobs``/``cache_dir``
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
-from repro.sweep import SweepEngine, SweepSpec, ensure_engine
+from repro.sweep import PointResult, SweepEngine, SweepSpec, ensure_engine
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
@@ -43,16 +43,20 @@ def run_figure4(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     engine: Optional[SweepEngine] = None,
+    on_result: Optional[Callable[[PointResult], None]] = None,
 ) -> Dict[str, Dict[str, Dict[int, "object"]]]:
     """Run the Figure 4 sweep.
 
     Returns ``results[kernel][isa][way] -> PointResult``.  Each kernel uses
     one shared (seeded, deterministic) workload across all ISAs and widths so
-    speed-ups are apples to apples.
+    speed-ups are apples to apples.  ``on_result`` (if given) streams each
+    point's result as it completes — see
+    :meth:`~repro.sweep.engine.SweepEngine.run`.
     """
     engine = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir)
     results: Dict[str, Dict[str, Dict[int, object]]] = {}
-    for result in engine.run(figure4_sweep(kernels, ways, spec, mem_latency)):
+    for result in engine.run(figure4_sweep(kernels, ways, spec, mem_latency),
+                             on_result=on_result):
         per_isa = results.setdefault(result.kernel, {})
         per_isa.setdefault(result.isa, {})[result.point.config.issue_width] = result
     return results

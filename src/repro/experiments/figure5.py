@@ -11,9 +11,9 @@ pre-configured engine) to parallelise or cache the regeneration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
-from repro.sweep import SweepEngine, SweepSpec, ensure_engine
+from repro.sweep import PointResult, SweepEngine, SweepSpec, ensure_engine
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
@@ -43,11 +43,16 @@ def run_figure5(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     engine: Optional[SweepEngine] = None,
+    on_result: Optional[Callable[[PointResult], None]] = None,
 ) -> Dict[str, Dict[str, Dict[int, "object"]]]:
-    """Run the Figure 5 sweep: ``results[kernel][isa][latency] -> PointResult``."""
+    """Run the Figure 5 sweep: ``results[kernel][isa][latency] -> PointResult``.
+
+    ``on_result`` (if given) streams each point's result as it completes.
+    """
     engine = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir)
     results: Dict[str, Dict[str, Dict[int, object]]] = {}
-    for result in engine.run(figure5_sweep(kernels, latencies, way, spec)):
+    for result in engine.run(figure5_sweep(kernels, latencies, way, spec),
+                             on_result=on_result):
         per_isa = results.setdefault(result.kernel, {})
         per_isa.setdefault(result.isa, {})[result.point.config.mem_latency] = result
     return results

@@ -11,10 +11,10 @@ cache the regeneration.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
 from repro.analysis.metrics import KernelMetrics, compute_metrics
-from repro.sweep import SweepEngine, SweepSpec, ensure_engine
+from repro.sweep import PointResult, SweepEngine, SweepSpec, ensure_engine
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
@@ -50,8 +50,12 @@ def run_breakdown_tables(
     jobs: int = 1,
     cache_dir: Optional[str] = None,
     engine: Optional[SweepEngine] = None,
+    on_result: Optional[Callable[[PointResult], None]] = None,
 ) -> Dict[str, Dict[str, KernelMetrics]]:
-    """Compute the full set of breakdown tables: ``tables[kernel][isa]``."""
+    """Compute the full set of breakdown tables: ``tables[kernel][isa]``.
+
+    ``on_result`` (if given) streams each point's result as it completes.
+    """
     engine = ensure_engine(engine, jobs=jobs, cache_dir=cache_dir)
     sweep = SweepSpec.make(
         kernels=kernels,
@@ -59,7 +63,7 @@ def run_breakdown_tables(
         spec=spec,
     )
     runs: Dict[str, Dict[str, object]] = {}
-    for result in engine.run(sweep):
+    for result in engine.run(sweep, on_result=on_result):
         runs.setdefault(result.kernel, {})[result.isa] = result
     return {name: _metrics_from_runs(per_isa) for name, per_isa in runs.items()}
 

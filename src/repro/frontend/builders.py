@@ -16,8 +16,16 @@ __all__ = [
     "MDMXBuilder",
     "MOMBuilder",
     "BUILDER_CLASSES",
+    "BUILDER_VERSION",
     "make_builder",
 ]
+
+#: Version tag of the functional front end's *emitted instruction streams*.
+#: Bump whenever a builder or kernel change can alter the trace produced for
+#: any (kernel, ISA, workload) — the trace cache folds this into every key,
+#: so a bump invalidates all cached traces.  Pure refactors that keep every
+#: emitted stream identical must NOT bump it.
+BUILDER_VERSION = "1"
 
 #: Map from ISA name to builder class, in the order the paper reports them.
 BUILDER_CLASSES = {

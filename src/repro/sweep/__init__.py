@@ -1,4 +1,4 @@
-"""Declarative experiment sweeps with parallel execution and result caching.
+"""Declarative experiment sweeps: parallel execution, caching, streaming.
 
 The sweep subsystem is the shared engine behind every experiment driver
 (Figure 4, Figure 5, the breakdown tables and the ablations):
@@ -7,24 +7,41 @@ The sweep subsystem is the shared engine behind every experiment driver
   kernels x ISAs x machine configurations x workload specs;
 * :class:`~repro.sweep.engine.SweepEngine` — expands a spec into points and
   runs them, optionally over a :class:`concurrent.futures.ProcessPoolExecutor`
-  (with a deterministic in-process fallback) and optionally backed by an
-  on-disk JSON result cache;
+  (with a deterministic in-process fallback), with streaming results via
+  :meth:`~repro.sweep.engine.SweepEngine.iter_results` / ``on_result``;
 * :class:`~repro.sweep.cache.ResultCache` — content-addressed storage of
   simulation results keyed by a stable hash of (kernel, ISA, machine
-  configuration, workload spec, timing-model version).
+  configuration, workload spec, timing-model version);
+* :class:`~repro.sweep.tracecache.TraceCache` — content-addressed storage of
+  serialized functional traces keyed by (kernel, ISA, workload spec,
+  builder version), shared by the parent and every worker process;
+* :mod:`~repro.sweep.manage` — stats / GC / clear over both stores
+  (``repro cache`` on the command line).
+
+See ``docs/sweep-engine.md`` for the full guide.
 """
 
 from repro.sweep.cache import ResultCache, point_key
 from repro.sweep.engine import PointResult, SweepEngine, ensure_engine
+from repro.sweep.manage import (CacheStats, GCReport, cache_stats,
+                                clear_cache, gc_cache)
 from repro.sweep.spec import SweepPoint, SweepSpec, resolve_spec
+from repro.sweep.tracecache import TraceCache, trace_key
 
 __all__ = [
+    "CacheStats",
+    "GCReport",
     "PointResult",
     "ResultCache",
     "SweepEngine",
     "SweepPoint",
     "SweepSpec",
+    "TraceCache",
+    "cache_stats",
+    "clear_cache",
     "ensure_engine",
+    "gc_cache",
     "point_key",
     "resolve_spec",
+    "trace_key",
 ]

@@ -15,8 +15,10 @@ Layout::
 The two-character fan-out keeps directories small for big sweeps.  Entries
 store the :class:`~repro.timing.results.SimResult` and the
 :class:`~repro.trace.stats.TraceStats` of the run (everything the experiment
-reducers need) — not the trace itself, which is cheap to regenerate and
-large to store.
+reducers need) — not the trace itself, which lives in its own store under
+``<cache_dir>/traces/`` (see :mod:`repro.sweep.tracecache`) keyed only by
+what the front end sees.  :mod:`repro.sweep.manage` administers both stores
+(``repro cache stats|gc|clear``).
 """
 
 from __future__ import annotations
@@ -75,6 +77,7 @@ def point_key(point: SweepPoint, version: Optional[str] = None) -> str:
 # Result (de)serialisation.
 
 def sim_to_dict(sim: SimResult) -> Dict[str, Any]:
+    """JSON-able view of a :class:`~repro.timing.results.SimResult`."""
     return {
         "cycles": sim.cycles,
         "instructions": sim.instructions,
@@ -89,6 +92,7 @@ def sim_to_dict(sim: SimResult) -> Dict[str, Any]:
 
 
 def sim_from_dict(data: Dict[str, Any]) -> SimResult:
+    """Inverse of :func:`sim_to_dict` (tolerates missing optional fields)."""
     return SimResult(
         cycles=data["cycles"],
         instructions=data["instructions"],
@@ -103,6 +107,7 @@ def sim_from_dict(data: Dict[str, Any]) -> SimResult:
 
 
 def stats_to_dict(stats: TraceStats) -> Dict[str, Any]:
+    """JSON-able view of a :class:`~repro.trace.stats.TraceStats`."""
     return {
         "num_instructions": stats.num_instructions,
         "num_operations": stats.num_operations,
@@ -120,6 +125,7 @@ def stats_to_dict(stats: TraceStats) -> Dict[str, Any]:
 
 
 def stats_from_dict(data: Dict[str, Any]) -> TraceStats:
+    """Inverse of :func:`stats_to_dict` (opclass keys revived as enums)."""
     return TraceStats(
         num_instructions=data["num_instructions"],
         num_operations=data["num_operations"],
@@ -157,6 +163,7 @@ class ResultCache:
     # -- key/path plumbing ------------------------------------------------
 
     def key_for(self, point: SweepPoint) -> str:
+        """Cache key of a (resolved) point under this cache's version."""
         return point_key(point, version=self.version)
 
     def _path(self, key: str) -> str:

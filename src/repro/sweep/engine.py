@@ -1,4 +1,4 @@
-"""The sweep engine: expand a spec, run its points, cache the results.
+"""The sweep engine: expand a spec, run its points, cache and stream results.
 
 The engine is the one place in the reproduction that knows *how* experiment
 points get executed:
@@ -8,59 +8,111 @@ points get executed:
   ``jobs > 1`` — each worker rebuilds its kernel workload from the (seeded,
   deterministic) spec, so no large arrays cross the process boundary and
   parallel results are bit-identical to serial ones,
-* optionally backed by an on-disk :class:`~repro.sweep.cache.ResultCache`,
-  so re-running a sweep whose points are already cached does zero
-  simulations.
+* optionally backed by an on-disk :class:`~repro.sweep.cache.ResultCache`
+  (re-running a sweep whose points are already cached does zero simulations)
+  and an on-disk :class:`~repro.sweep.tracecache.TraceCache` (a point whose
+  *result* misses but whose functional trace is cached skips the dominant
+  trace-rebuild cost — in every process, parent or worker).
 
-Execution failures in a worker pool (e.g. a sandbox that forbids fork) are
-not fatal: the engine falls back to the serial path and records the fact in
-:attr:`SweepEngine.last_fallback_reason`.
+Results stream: :meth:`SweepEngine.iter_results` yields each
+:class:`PointResult` the moment it completes (cache hits first, then
+simulations in completion order), and both it and :meth:`SweepEngine.run`
+accept an ``on_result`` callback for live progress reporting and incremental
+output.  :meth:`run` additionally reassembles the deterministic
+spec-expansion order, so existing barrier-style callers are unchanged.
+
+Execution failures in a worker pool (e.g. a sandbox that forbids fork, an
+unpicklable point at submit time, or a pool that breaks mid-run) are not
+fatal: the engine finishes the remaining points on the serial path and
+records why in :attr:`SweepEngine.last_fallback_reason`.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (Callable, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.sweep.cache import ResultCache
 from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.tracecache import TRACE_SUBDIR, TraceCache
 from repro.timing.results import SimResult
 from repro.trace.stats import TraceStats
 
 __all__ = ["PointResult", "SweepEngine", "ensure_engine"]
+
+#: Exceptions that degrade the worker pool to the serial path instead of
+#: failing the sweep: sandbox/fork problems (OSError and subclasses,
+#: ImportError for missing _multiprocessing), unpicklable work items
+#: (pickle.PicklingError at submit or send time) and a pool whose workers
+#: died (BrokenProcessPool).  Anything else — notably a kernel's functional
+#: verification failure — propagates.
+_POOL_FALLBACK_ERRORS = (OSError, PermissionError, ImportError,
+                         BrokenProcessPool, pickle.PicklingError)
+
+#: Callback type for streaming results: called once per completed point.
+OnResult = Callable[["PointResult"], None]
 
 
 @dataclass
 class PointResult:
     """Result of one sweep point: the timing outcome plus trace statistics.
 
-    ``build`` (the functional build, with the trace and verified outputs) is
-    only present for fresh in-process runs; cached and worker-pool results
-    carry ``None`` there.  ``checked`` records whether the run verified the
-    build against its golden reference (cached entries are only ever written
-    from verified runs, so they are always ``checked``).
+    Attributes
+    ----------
+    point:
+        The fully-resolved :class:`~repro.sweep.spec.SweepPoint` that was
+        executed.
+    sim:
+        The :class:`~repro.timing.results.SimResult` of the timing model.
+    stats:
+        Static :class:`~repro.trace.stats.TraceStats` of the trace.
+    cached:
+        True when the whole result was served from the on-disk result cache
+        (no simulation ran).
+    trace_cached:
+        True when the simulation ran but its functional trace came from the
+        trace cache (no front-end build ran).
+    build:
+        The functional build (trace plus verified outputs); only present for
+        fresh in-process runs with ``keep_builds=True`` — cached, trace-cached
+        and worker-pool results carry ``None``.
+    checked:
+        Whether this result is backed by a golden-reference verification:
+        either this run checked the build, or the cache entry it came from
+        was written by a checking run (both caches only ever admit verified
+        work).
+    index:
+        Position of the point in the sweep's deterministic expansion order;
+        lets streaming consumers reassemble barrier order.
     """
 
     point: SweepPoint
     sim: SimResult
     stats: TraceStats
     cached: bool = False
+    trace_cached: bool = False
     build: Optional[object] = None
     checked: bool = True
+    index: int = -1
 
     @property
     def kernel(self) -> str:
+        """Kernel name of the point (shorthand for ``point.kernel``)."""
         return self.point.kernel
 
     @property
     def isa(self) -> str:
+        """ISA variant of the point (shorthand for ``point.isa``)."""
         return self.point.isa
 
     @property
     def cycles(self) -> int:
+        """Simulated cycle count (shorthand for ``sim.cycles``)."""
         return self.sim.cycles
 
     @property
@@ -68,33 +120,58 @@ class PointResult:
         """Functional correctness of the build behind this result.
 
         Without a retained build this is only knowable when the run (or the
-        cached run it came from) verified against the golden reference.
+        cached work it came from) verified against the golden reference.
         """
         if self.build is not None:
             return self.build.correct
         return self.checked
 
 
-def _simulate_point(point: SweepPoint, check: bool) -> Tuple[SimResult, TraceStats, object]:
-    """Run one resolved point in the current process."""
-    # Local import: keeps module import light and avoids a cycle with the
+def _simulate_point(point: SweepPoint, check: bool,
+                    trace_cache: Optional[TraceCache],
+                    keep_builds: bool = False,
+                    ) -> Tuple[SimResult, TraceStats, object, bool]:
+    """Run one resolved point in the current process.
+
+    Returns ``(sim, stats, build, trace_cached)``.  With a trace cache, the
+    functional trace is deserialized instead of rebuilt when present
+    (``build`` is then None); a fresh verified build stores its trace for
+    every later run and worker.  ``keep_builds`` forces a real build — a
+    cached trace carries no outputs to retain.
+    """
+    # Local imports: keep module import light and avoid a cycle with the
     # experiments layer, which imports the engine.
     from repro.experiments.runner import run_kernel
+    from repro.timing.core import simulate_trace
+    from repro.trace.stats import summarize_trace
+
+    if trace_cache is not None and not keep_builds:
+        trace = trace_cache.get(point)
+        if trace is not None:
+            sim = simulate_trace(trace, point.config)
+            return sim, summarize_trace(trace), None, True
 
     run = run_kernel(point.kernel, point.isa, config=point.config,
                      spec=point.spec, check=check)
-    return run.sim, run.stats, run.build
+    # Mirror the result cache's rule: only verified builds enter the cache,
+    # so a later hit inherits this run's correctness guarantee.
+    if trace_cache is not None and check:
+        trace_cache.put(point, run.build.trace)
+    return run.sim, run.stats, run.build, False
 
 
-def _pool_worker(args: Tuple[SweepPoint, bool]) -> Tuple[SimResult, TraceStats]:
+def _pool_worker(args: Tuple[SweepPoint, bool, Optional[str]]
+                 ) -> Tuple[SimResult, TraceStats, bool]:
     """Top-level (picklable) worker for the process pool.
 
     The functional build stays in the worker — only the compact result
-    records travel back to the parent.
+    records (and whether the trace came from the shared on-disk cache)
+    travel back to the parent.
     """
-    point, check = args
-    sim, stats, _build = _simulate_point(point, check)
-    return sim, stats
+    point, check, trace_dir = args
+    trace_cache = TraceCache(trace_dir) if trace_dir else None
+    sim, stats, _build, trace_cached = _simulate_point(point, check, trace_cache)
+    return sim, stats, trace_cached
 
 
 class SweepEngine:
@@ -106,110 +183,208 @@ class SweepEngine:
         Worker-process count.  ``jobs <= 1`` selects the deterministic
         in-process path; ``jobs > 1`` uses a ``ProcessPoolExecutor``.
     cache_dir:
-        Directory for the on-disk result cache; ``None`` disables caching.
+        Root directory for the on-disk caches; ``None`` disables both.
+        Results live at ``<cache_dir>/<key[:2]>/<key>.json`` and serialized
+        traces under ``<cache_dir>/traces/``.
     check:
         Verify every build against its NumPy golden reference (default on;
         a run with wrong functional output never produces timing numbers).
     version:
-        Timing-model version for cache keys (tests override this to
-        exercise invalidation); defaults to the live model version.
+        Timing-model version for result-cache keys (tests override this to
+        exercise invalidation); defaults to the live model version.  The
+        trace cache is *not* keyed on it — traces are configuration- and
+        model-independent.
+    trace_cache:
+        Trace-cache control: ``None`` (default) derives
+        ``<cache_dir>/traces`` when ``cache_dir`` is set, a string selects
+        an explicit directory, and ``False`` disables trace caching even
+        with a ``cache_dir``.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
-                 check: bool = True, version: Optional[str] = None) -> None:
+                 check: bool = True, version: Optional[str] = None,
+                 trace_cache: Union[None, bool, str] = None) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = (ResultCache(cache_dir, version=version)
                       if cache_dir else None)
+        if trace_cache is None:
+            trace_cache = (os.path.join(cache_dir, TRACE_SUBDIR)
+                           if cache_dir else False)
+        self.trace_cache = (TraceCache(trace_cache) if trace_cache else None)
         self.check = check
-        #: Number of points actually simulated by the most recent run().
+        #: Number of points actually simulated by the most recent run.
         self.last_simulated = 0
-        #: Number of points served from cache by the most recent run().
+        #: Number of points served whole from the result cache.
         self.last_cached = 0
-        #: Why the most recent run() fell back to serial execution (if it did).
+        #: Of the simulated points, how many got their trace from the cache.
+        self.last_trace_hits = 0
+        #: Of the simulated points, how many had to build their trace.
+        self.last_trace_builds = 0
+        #: Why the most recent run fell back to serial execution (if it did).
         self.last_fallback_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
 
     def run(self, sweep: Union[SweepSpec, Iterable[SweepPoint]],
-            keep_builds: bool = False) -> List[PointResult]:
-        """Execute a sweep and return one :class:`PointResult` per point,
-        in the sweep's deterministic expansion order.
+            keep_builds: bool = False,
+            on_result: Optional[OnResult] = None) -> List[PointResult]:
+        """Execute a sweep and return one :class:`PointResult` per point, in
+        the sweep's deterministic expansion order.
 
-        ``keep_builds`` asks for the functional builds to be retained on the
-        results; it forces the in-process path (builds hold traces and NumPy
-        arrays that should not be shipped between processes).
+        Parameters
+        ----------
+        sweep:
+            A :class:`~repro.sweep.spec.SweepSpec` or an iterable of
+            :class:`~repro.sweep.spec.SweepPoint`\\ s.
+        keep_builds:
+            Retain the functional builds on the results; forces the
+            in-process path (builds hold traces and NumPy arrays that should
+            not be shipped between processes) and bypasses both caches for
+            reads.
+        on_result:
+            Optional callback invoked with each :class:`PointResult` as it
+            completes (completion order, not expansion order) — the barrier
+            return value is unaffected.
+        """
+        results = {r.index: r
+                   for r in self.iter_results(sweep, keep_builds=keep_builds,
+                                              on_result=on_result)}
+        return [results[i] for i in range(len(results))]
+
+    def run_point(self, point: SweepPoint) -> PointResult:
+        """Convenience: run a single point and return its result."""
+        return self.run([point])[0]
+
+    def iter_results(self, sweep: Union[SweepSpec, Iterable[SweepPoint]],
+                     keep_builds: bool = False,
+                     on_result: Optional[OnResult] = None,
+                     ) -> Iterator[PointResult]:
+        """Yield one :class:`PointResult` per point *as each completes*.
+
+        Result-cache hits are yielded first (they are free), then simulated
+        points in completion order — under a worker pool that order is
+        nondeterministic, so each result carries its expansion-order
+        ``index``.  The yielded set is always exactly the sweep's points;
+        sorting by ``index`` reproduces :meth:`run`'s return value.
+
+        ``on_result`` (if given) is called with every result just before it
+        is yielded, which suits callers that both stream and collect.
         """
         points = [p.resolved() for p in
                   (sweep.points() if isinstance(sweep, SweepSpec) else sweep)]
-        results: List[Optional[PointResult]] = [None] * len(points)
         self.last_simulated = 0
         self.last_cached = 0
+        self.last_trace_hits = 0
+        self.last_trace_builds = 0
         self.last_fallback_reason = None
 
-        # Serve what we can from the cache.
+        def emit(result: PointResult) -> PointResult:
+            if on_result is not None:
+                on_result(result)
+            return result
+
+        # Serve what we can from the result cache.
         todo: List[int] = []
         for i, point in enumerate(points):
             if self.cache is not None and not keep_builds:
                 cached = self.cache.get(point)
                 if cached is not None:
                     sim, stats = cached
-                    results[i] = PointResult(point=point, sim=sim, stats=stats,
-                                             cached=True)
+                    self.last_cached += 1
+                    yield emit(PointResult(point=point, sim=sim, stats=stats,
+                                           cached=True, index=i))
                     continue
             todo.append(i)
-        self.last_cached = len(points) - len(todo)
 
-        if todo:
-            use_pool = self.jobs > 1 and len(todo) > 1 and not keep_builds
-            if use_pool:
-                computed = self._run_pool([points[i] for i in todo])
-            else:
-                computed = None
-            if computed is None:
-                computed = self._run_serial([points[i] for i in todo],
-                                            keep_builds=keep_builds)
-            for i, result in zip(todo, computed):
-                results[i] = result
-                # Only verified results may enter the cache: entries carry no
-                # "unchecked" marker, so a check=False run must not poison the
-                # cache for later check=True engines.
-                if self.cache is not None and self.check:
-                    self.cache.put(result.point, result.sim, result.stats)
-            self.last_simulated = len(todo)
+        if not todo:
+            return
 
-        return results  # type: ignore[return-value]
+        remaining = list(todo)
+        if self.jobs > 1 and len(todo) > 1 and not keep_builds:
+            for result in self._iter_pool(points, remaining):
+                yield emit(self._record(result))
+            # On pool failure `remaining` still holds what the pool did not
+            # finish; the serial loop below completes the sweep.
 
-    def run_point(self, point: SweepPoint) -> PointResult:
-        """Convenience: run a single point."""
-        return self.run([point])[0]
+        for i in list(remaining):
+            sim, stats, build, trace_cached = _simulate_point(
+                points[i], self.check, self.trace_cache,
+                keep_builds=keep_builds)
+            remaining.remove(i)
+            result = PointResult(point=points[i], sim=sim, stats=stats,
+                                 trace_cached=trace_cached,
+                                 build=build if keep_builds else None,
+                                 checked=self.check or trace_cached, index=i)
+            yield emit(self._record(result))
 
     # ------------------------------------------------------------------
 
-    def _run_serial(self, points: Sequence[SweepPoint],
-                    keep_builds: bool) -> List[PointResult]:
-        out = []
-        for point in points:
-            sim, stats, build = _simulate_point(point, self.check)
-            out.append(PointResult(point=point, sim=sim, stats=stats,
-                                   build=build if keep_builds else None,
-                                   checked=self.check))
-        return out
+    def _record(self, result: PointResult) -> PointResult:
+        """Account for one fresh (non-result-cached) result and cache it."""
+        self.last_simulated += 1
+        if result.trace_cached:
+            self.last_trace_hits += 1
+        else:
+            self.last_trace_builds += 1
+        # Only verified results may enter the cache: entries carry no
+        # "unchecked" marker, so a check=False run must not poison the
+        # cache for later check=True engines.
+        if self.cache is not None and result.checked:
+            self.cache.put(result.point, result.sim, result.stats)
+        return result
 
-    def _run_pool(self, points: Sequence[SweepPoint]) -> Optional[List[PointResult]]:
-        """Run points on a process pool; None if the pool cannot be used."""
-        args = [(point, self.check) for point in points]
+    def _iter_pool(self, points: Sequence[SweepPoint],
+                   remaining: List[int]) -> Iterator[PointResult]:
+        """Yield pool-computed results, removing their indices from
+        ``remaining`` as they land.
+
+        Any pool-infrastructure failure — at pool creation, at submit time
+        (e.g. ``PicklingError``/``OSError`` while shipping a point) or
+        mid-run (``BrokenProcessPool``) — stops the generator with
+        :attr:`last_fallback_reason` set and the unfinished indices still in
+        ``remaining``, so the caller's serial path can finish them.
+        """
+        trace_dir = (self.trace_cache.cache_dir
+                     if self.trace_cache is not None else None)
+        workers = min(self.jobs, len(remaining), (os.cpu_count() or 1) * 4)
         try:
-            workers = min(self.jobs, len(points), (os.cpu_count() or 1) * 4)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                pairs = list(pool.map(_pool_worker, args, chunksize=1))
-        except (OSError, PermissionError, ImportError, BrokenProcessPool) as exc:
-            # Typical in sandboxes that forbid fork/semaphores: degrade to
-            # the deterministic serial path rather than failing the sweep.
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except _POOL_FALLBACK_ERRORS as exc:
             self.last_fallback_reason = f"{type(exc).__name__}: {exc}"
-            return None
-        return [PointResult(point=point, sim=sim, stats=stats,
-                            checked=self.check)
-                for point, (sim, stats) in zip(points, pairs)]
+            return
+        try:
+            try:
+                futures = {
+                    pool.submit(_pool_worker,
+                                (points[i], self.check, trace_dir)): i
+                    for i in list(remaining)
+                }
+            except _POOL_FALLBACK_ERRORS as exc:
+                self.last_fallback_reason = (
+                    f"{type(exc).__name__} at submit: {exc}")
+                return
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    i = futures[future]
+                    try:
+                        sim, stats, trace_cached = future.result()
+                    except _POOL_FALLBACK_ERRORS as exc:
+                        self.last_fallback_reason = (
+                            f"{type(exc).__name__}: {exc}")
+                        return
+                    remaining.remove(i)
+                    yield PointResult(point=points[i], sim=sim, stats=stats,
+                                      trace_cached=trace_cached,
+                                      checked=self.check or trace_cached,
+                                      index=i)
+        finally:
+            # Runs on normal completion, on fallback, and — crucially — when
+            # the consumer closes the generator early (GeneratorExit at a
+            # yield): queued points are cancelled instead of being executed
+            # to completion behind the caller's back.
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def ensure_engine(engine: Optional[SweepEngine], jobs: int = 1,

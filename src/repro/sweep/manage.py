@@ -1,0 +1,197 @@
+"""Management of the on-disk sweep caches: stats, eviction (GC), clearing.
+
+One cache root holds both stores the engine uses —
+
+* result entries at ``<cache_dir>/<key[:2]>/<key>.json``
+  (:class:`~repro.sweep.cache.ResultCache`), and
+* trace entries at ``<cache_dir>/traces/<key[:2]>/<key>.json``
+  (:class:`~repro.sweep.tracecache.TraceCache`)
+
+— and this module treats them uniformly: every entry is one JSON file whose
+modification time doubles as its age.  Both caches are content-addressed, so
+eviction is always safe — a removed entry is a future cache miss, never a
+correctness problem.
+
+Eviction policy (:func:`gc_cache`):
+
+1. Drop every entry older than ``max_age_seconds`` (when given).
+2. If the survivors still exceed ``max_bytes`` (when given), drop
+   oldest-first until the total fits.
+
+The CLI exposes this as ``repro cache stats|gc|clear``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.sweep.tracecache import TRACE_SUBDIR
+
+__all__ = ["CacheEntry", "CacheStats", "GCReport",
+           "iter_cache_entries", "cache_stats", "gc_cache", "clear_cache"]
+
+#: Logical sections of a shared cache root.
+_SECTIONS = ("results", "traces")
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache entry (a result or a serialized trace)."""
+
+    path: str
+    section: str  # "results" or "traces"
+    size: int     # bytes
+    mtime: float  # POSIX timestamp of the last write
+
+
+@dataclass
+class CacheStats:
+    """Aggregate usage of one cache root, per section and overall."""
+
+    cache_dir: str
+    entries: Dict[str, int] = field(
+        default_factory=lambda: {s: 0 for s in _SECTIONS})
+    bytes: Dict[str, int] = field(
+        default_factory=lambda: {s: 0 for s in _SECTIONS})
+    oldest_mtime: Optional[float] = None
+    newest_mtime: Optional[float] = None
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.entries.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes.values())
+
+
+@dataclass
+class GCReport:
+    """Outcome of one :func:`gc_cache` pass."""
+
+    removed: int = 0
+    kept: int = 0
+    bytes_freed: int = 0
+    bytes_kept: int = 0
+
+
+def _iter_section(root: str, section: str) -> Iterator[CacheEntry]:
+    """Entries of one two-level ``<fan-out>/<key>.json`` store under ``root``."""
+    try:
+        fanouts = sorted(os.listdir(root))
+    except OSError:
+        return
+    for fanout in fanouts:
+        # Fan-out directories are the first two hex chars of the key; the
+        # traces subdir (and anything else) is not one of them.
+        if len(fanout) != 2:
+            continue
+        subdir = os.path.join(root, fanout)
+        try:
+            names = sorted(os.listdir(subdir))
+        except OSError:
+            continue
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(subdir, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            yield CacheEntry(path=path, section=section,
+                             size=st.st_size, mtime=st.st_mtime)
+
+
+def iter_cache_entries(cache_dir: str) -> Iterator[CacheEntry]:
+    """Yield every entry under a shared cache root (results, then traces)."""
+    yield from _iter_section(cache_dir, "results")
+    yield from _iter_section(os.path.join(cache_dir, TRACE_SUBDIR), "traces")
+
+
+def cache_stats(cache_dir: str) -> CacheStats:
+    """Scan a cache root and return per-section entry/byte counts."""
+    stats = CacheStats(cache_dir=os.fspath(cache_dir))
+    for entry in iter_cache_entries(cache_dir):
+        stats.entries[entry.section] += 1
+        stats.bytes[entry.section] += entry.size
+        if stats.oldest_mtime is None or entry.mtime < stats.oldest_mtime:
+            stats.oldest_mtime = entry.mtime
+        if stats.newest_mtime is None or entry.mtime > stats.newest_mtime:
+            stats.newest_mtime = entry.mtime
+    return stats
+
+
+def _remove(entry: CacheEntry, report: GCReport) -> None:
+    try:
+        os.unlink(entry.path)
+    except OSError:
+        return
+    report.removed += 1
+    report.bytes_freed += entry.size
+    # Prune the fan-out directory when it just emptied (best effort).
+    try:
+        os.rmdir(os.path.dirname(entry.path))
+    except OSError:
+        pass
+
+
+def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
+             max_age_seconds: Optional[float] = None,
+             now: Optional[float] = None) -> GCReport:
+    """Evict cache entries by age and/or total size; returns a report.
+
+    Parameters
+    ----------
+    cache_dir:
+        Shared cache root (results + traces).
+    max_bytes:
+        Keep total on-disk size at or under this many bytes, evicting
+        oldest entries first.  ``None`` puts no size bound.
+    max_age_seconds:
+        Evict every entry older than this.  ``None`` puts no age bound.
+    now:
+        Reference timestamp for age computation (defaults to the current
+        time; tests pin it).
+
+    With neither bound given this is a no-op scan.
+    """
+    import time
+
+    reference = time.time() if now is None else now
+    entries: List[CacheEntry] = sorted(iter_cache_entries(cache_dir),
+                                       key=lambda e: e.mtime)
+    report = GCReport()
+
+    survivors: List[CacheEntry] = []
+    for entry in entries:
+        if (max_age_seconds is not None
+                and reference - entry.mtime > max_age_seconds):
+            _remove(entry, report)
+        else:
+            survivors.append(entry)
+
+    if max_bytes is not None:
+        total = sum(e.size for e in survivors)
+        # survivors are oldest-first: evict from the front until we fit.
+        idx = 0
+        while total > max_bytes and idx < len(survivors):
+            entry = survivors[idx]
+            _remove(entry, report)
+            total -= entry.size
+            idx += 1
+        survivors = survivors[idx:]
+
+    report.kept = len(survivors)
+    report.bytes_kept = sum(e.size for e in survivors)
+    return report
+
+
+def clear_cache(cache_dir: str) -> GCReport:
+    """Remove every entry under a cache root; returns what was freed."""
+    report = GCReport()
+    for entry in list(iter_cache_entries(cache_dir)):
+        _remove(entry, report)
+    return report

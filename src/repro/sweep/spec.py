@@ -82,7 +82,20 @@ class SweepSpec:
              isas: Iterable[str] = ISA_VARIANTS,
              configs: Optional[Iterable[MachineConfig]] = None,
              spec: Optional[WorkloadSpec] = None) -> "SweepSpec":
-        """Normalising constructor accepting any iterables."""
+        """Normalising constructor accepting any iterables.
+
+        Parameters
+        ----------
+        kernels:
+            Kernel names to sweep; ``None`` means every registered kernel.
+        isas:
+            ISA variant names (default: all four, in the paper's order).
+        configs:
+            Machine configurations; ``None`` means the paper's 4-way core.
+        spec:
+            Shared workload spec; ``None`` means each kernel's default
+            (resolved per kernel by :func:`resolve_spec`).
+        """
         return cls(
             kernels=tuple(kernels) if kernels is not None else None,
             isas=tuple(isas),
@@ -92,6 +105,7 @@ class SweepSpec:
         )
 
     def kernel_names(self) -> Tuple[str, ...]:
+        """The concrete kernel names this sweep covers (``kernels`` or all)."""
         return self.kernels if self.kernels is not None else tuple(kernel_names())
 
     def points(self) -> Iterator[SweepPoint]:
@@ -104,4 +118,5 @@ class SweepSpec:
                                      spec=spec)
 
     def __len__(self) -> int:
+        """Number of points :meth:`points` will expand to."""
         return len(self.kernel_names()) * len(self.configs) * len(self.isas)

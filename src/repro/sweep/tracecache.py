@@ -1,0 +1,169 @@
+"""Content-addressed on-disk cache of serialized functional traces.
+
+Rebuilding a kernel's functional trace (executing the front end instruction
+by instruction against the NumPy workload) dominates the cost of every sweep
+point the result cache cannot serve — the *warm miss*: same kernel, ISA and
+workload, but a machine configuration (or timing-model version) not seen
+before.  The trace itself is independent of the machine configuration, so
+this cache stores it once per (kernel, ISA, workload spec, builder version)
+and every later run — in this process or any worker process — deserializes
+it instead of rebuilding.
+
+Key anatomy (SHA-256 over the canonical JSON of)::
+
+    {"builder_version": ..., "kernel": ..., "isa": ...,
+     "workload": {"scale": ..., "seed": ...}}
+
+Note what is *absent*: the machine configuration and the timing-model
+version.  A trace is a pure function of the front end, so changing the
+simulated core must not (and does not) invalidate it; bumping
+:data:`repro.frontend.builders.BUILDER_VERSION` invalidates everything.
+
+Layout (shares a root with :class:`~repro.sweep.cache.ResultCache`)::
+
+    <cache_dir>/traces/<key[:2]>/<key>.json
+
+Entries only ever come from builds whose functional output was verified
+against the NumPy golden reference, mirroring the result cache's rule, so a
+cache hit carries the original build's correctness guarantee.  Unreadable,
+truncated or format-mismatched entries count as plain misses — the trace is
+rebuilt rather than crashing the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, Optional
+
+from repro.frontend.builders import BUILDER_VERSION
+from repro.sweep.spec import SweepPoint
+from repro.trace.container import Trace
+from repro.workloads.generators import WorkloadSpec
+
+__all__ = ["TraceCache", "trace_key"]
+
+#: Subdirectory (under a shared cache root) holding the trace entries.
+TRACE_SUBDIR = "traces"
+
+
+def trace_key(kernel: str, isa: str, spec: WorkloadSpec,
+              builder_version: Optional[str] = None) -> str:
+    """Stable content hash identifying one functional trace.
+
+    Parameters
+    ----------
+    kernel, isa:
+        Kernel name and ISA variant the trace was built for.
+    spec:
+        The concrete (resolved) workload spec; only ``scale`` and ``seed``
+        matter, matching the result cache's workload fingerprint.
+    builder_version:
+        Front-end version folded into the key; defaults to the live
+        :data:`~repro.frontend.builders.BUILDER_VERSION` (tests override it
+        to exercise invalidation).
+    """
+    payload = {
+        "builder_version": (builder_version if builder_version is not None
+                            else BUILDER_VERSION),
+        "kernel": kernel,
+        "isa": isa,
+        "workload": {"scale": spec.scale, "seed": spec.seed},
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class TraceCache:
+    """On-disk store of serialized traces, shared across processes.
+
+    Parameters
+    ----------
+    cache_dir:
+        Directory holding the trace entries (conventionally
+        ``<shared cache root>/traces``); created on first write.
+    builder_version:
+        Front-end version folded into every key.  Defaults to
+        :data:`~repro.frontend.builders.BUILDER_VERSION`.
+
+    Attributes
+    ----------
+    hits / misses:
+        Running counters over this instance's :meth:`get` calls.
+    """
+
+    def __init__(self, cache_dir: str,
+                 builder_version: Optional[str] = None) -> None:
+        self.cache_dir = os.fspath(cache_dir)
+        self.builder_version = (builder_version if builder_version is not None
+                                else BUILDER_VERSION)
+        self.hits = 0
+        self.misses = 0
+
+    # -- key/path plumbing ------------------------------------------------
+
+    def key_for(self, point: SweepPoint) -> str:
+        """Cache key of the trace behind a (resolved) sweep point."""
+        point = point.resolved()
+        return trace_key(point.kernel, point.isa, point.spec,
+                         builder_version=self.builder_version)
+
+    def path_for(self, point: SweepPoint) -> str:
+        """On-disk path of the entry for ``point`` (whether or not present)."""
+        return self._path(self.key_for(point))
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, key[:2], key + ".json")
+
+    # -- cache operations -------------------------------------------------
+
+    def get(self, point: SweepPoint) -> Optional[Trace]:
+        """Return the cached :class:`~repro.trace.container.Trace`, or None.
+
+        Any unreadable, corrupt, truncated or format-mismatched entry is a
+        plain miss: the caller rebuilds the trace from the front end.
+        """
+        path = self._path(self.key_for(point))
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                entry = json.load(f)
+            trace = Trace.from_payload(entry["trace"])
+        except (OSError, ValueError, KeyError, IndexError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def put(self, point: SweepPoint, trace: Trace) -> str:
+        """Store one trace; returns the cache key.
+
+        The write is atomic (tempfile + rename), so concurrent sweeps and
+        worker processes sharing the directory never observe a half-written
+        entry — at worst two processes race to write identical content.
+        """
+        point = point.resolved()
+        key = self.key_for(point)
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry: Dict[str, Any] = {
+            "key": key,
+            "builder_version": self.builder_version,
+            "kernel": point.kernel,
+            "isa": point.isa,
+            "workload": {"scale": point.spec.scale, "seed": point.spec.seed},
+            "trace": trace.to_payload(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                json.dump(entry, f, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return key

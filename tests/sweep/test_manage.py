@@ -1,0 +1,157 @@
+"""Tests of the cache management layer (stats / GC / clear) and its CLI.
+
+Eviction is exercised against a real engine-populated cache root so both
+sections — result entries and trace entries — are present.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import (
+    SweepEngine,
+    SweepSpec,
+    cache_stats,
+    clear_cache,
+    gc_cache,
+)
+from repro.sweep.manage import iter_cache_entries
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+_SPEC = WorkloadSpec(scale=1, seed=7)
+
+
+def _populate(cache_dir: str, kernels=("comp", "addblock")) -> int:
+    """Run a small sweep into ``cache_dir``; returns the point count."""
+    sweep = SweepSpec.make(kernels=kernels,
+                           configs=[MachineConfig.for_way(4)], spec=_SPEC)
+    SweepEngine(cache_dir=cache_dir).run(sweep)
+    return len(sweep)
+
+
+class TestStats:
+    def test_empty_root(self, tmp_path):
+        stats = cache_stats(str(tmp_path))
+        assert stats.total_entries == 0
+        assert stats.total_bytes == 0
+        assert stats.oldest_mtime is None
+
+    def test_counts_both_sections(self, tmp_path):
+        points = _populate(str(tmp_path))
+        stats = cache_stats(str(tmp_path))
+        assert stats.entries["results"] == points
+        assert stats.entries["traces"] == points  # one trace per (kernel, isa)
+        assert stats.total_entries == 2 * points
+        assert stats.bytes["results"] > 0
+        assert stats.bytes["traces"] > stats.bytes["results"]
+        assert stats.oldest_mtime is not None
+        assert stats.newest_mtime >= stats.oldest_mtime
+
+
+class TestGC:
+    def test_noop_without_bounds(self, tmp_path):
+        points = _populate(str(tmp_path))
+        report = gc_cache(str(tmp_path))
+        assert report.removed == 0
+        assert report.kept == 2 * points
+
+    def test_size_bound_evicts_oldest_first(self, tmp_path):
+        _populate(str(tmp_path))
+        entries = sorted(iter_cache_entries(str(tmp_path)),
+                         key=lambda e: e.mtime)
+        # Age the first entry far into the past so the eviction order is
+        # unambiguous.
+        oldest = entries[0]
+        os.utime(oldest.path, (oldest.mtime - 9999, oldest.mtime - 9999))
+
+        total = sum(e.size for e in entries)
+        report = gc_cache(str(tmp_path), max_bytes=total - 1)
+        assert report.removed >= 1
+        assert not os.path.exists(oldest.path), "oldest entry evicted first"
+        assert report.bytes_kept <= total - 1
+
+    def test_size_bound_zero_clears_everything(self, tmp_path):
+        points = _populate(str(tmp_path))
+        report = gc_cache(str(tmp_path), max_bytes=0)
+        assert report.removed == 2 * points
+        assert cache_stats(str(tmp_path)).total_entries == 0
+
+    def test_age_bound_evicts_only_old_entries(self, tmp_path):
+        _populate(str(tmp_path))
+        entries = list(iter_cache_entries(str(tmp_path)))
+        now = time.time()
+        old = entries[: len(entries) // 2]
+        for entry in old:
+            os.utime(entry.path, (now - 10 * 86400, now - 10 * 86400))
+
+        report = gc_cache(str(tmp_path), max_age_seconds=5 * 86400, now=now)
+        assert report.removed == len(old)
+        survivors = {e.path for e in iter_cache_entries(str(tmp_path))}
+        assert survivors == {e.path for e in entries} - {e.path for e in old}
+
+    def test_engine_recovers_after_gc(self, tmp_path):
+        """A GC'd cache is a cold cache, never a broken one."""
+        sweep = SweepSpec.make(kernels=["comp"],
+                               configs=[MachineConfig.for_way(4)], spec=_SPEC)
+        before = SweepEngine(cache_dir=str(tmp_path)).run(sweep)
+        gc_cache(str(tmp_path), max_bytes=0)
+        engine = SweepEngine(cache_dir=str(tmp_path))
+        after = engine.run(sweep)
+        assert engine.last_simulated == len(after)
+        assert [r.sim for r in after] == [r.sim for r in before]
+
+
+class TestClear:
+    def test_clear_removes_everything(self, tmp_path):
+        points = _populate(str(tmp_path))
+        report = clear_cache(str(tmp_path))
+        assert report.removed == 2 * points
+        assert cache_stats(str(tmp_path)).total_entries == 0
+
+
+class TestCacheCLI:
+    def test_stats_command(self, tmp_path, capsys):
+        points = _populate(str(tmp_path))
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert f"results  {points:6d} entries" in out
+        assert f"traces   {points:6d} entries" in out
+        assert "oldest entry" in out
+
+    def test_gc_command_size_limit(self, tmp_path, capsys):
+        _populate(str(tmp_path))
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-mb", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted" in out and "0 kept" in out
+        assert cache_stats(str(tmp_path)).total_entries == 0
+
+    def test_gc_command_age_limit_keeps_fresh_entries(self, tmp_path, capsys):
+        points = _populate(str(tmp_path))
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-age-days", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 0 entries" in out
+        assert cache_stats(str(tmp_path)).total_entries == 2 * points
+
+    def test_clear_command(self, tmp_path, capsys):
+        _populate(str(tmp_path))
+        assert main(["cache", "clear", "--cache-dir", str(tmp_path)]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert cache_stats(str(tmp_path)).total_entries == 0
+
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["cache"])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "timing model" in out

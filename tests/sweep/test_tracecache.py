@@ -1,0 +1,227 @@
+"""Tests of the shared on-disk trace cache.
+
+The central guarantees: a cache-hit trace is *instruction-for-instruction*
+equal to a cold build, corrupt entries fall back to a rebuild, and a sweep
+over already-cached traces performs zero front-end builds (asserted through
+the build-counter hook in :mod:`repro.kernels.base`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.frontend.builders import BUILDER_VERSION
+from repro.kernels.base import add_build_hook, remove_build_hook
+from repro.sweep import (
+    SweepEngine,
+    SweepPoint,
+    SweepSpec,
+    TraceCache,
+    trace_key,
+)
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+_SPEC = WorkloadSpec(scale=1, seed=7)
+_CFG = MachineConfig.for_way(4)
+
+
+@pytest.fixture
+def build_counter():
+    """Counts kernel-variant builds for the duration of one test."""
+    counts = []
+    hook = add_build_hook(lambda kernel, isa: counts.append((kernel, isa)))
+    yield counts
+    remove_build_hook(hook)
+
+
+def _build_trace(kernel="comp", isa="mom", spec=_SPEC):
+    from repro.kernels.registry import get_kernel
+
+    return get_kernel(kernel).run_variant(isa, spec=spec).trace
+
+
+class TestPayloadRoundTrip:
+    @pytest.mark.parametrize("isa", ["scalar", "mmx", "mdmx", "mom"])
+    def test_round_trip_is_instruction_exact(self, isa):
+        from repro.trace.container import Trace
+
+        trace = _build_trace(isa=isa)
+        clone = Trace.from_payload(trace.to_payload())
+        assert clone.name == trace.name
+        assert clone.isa == trace.isa
+        assert clone.instructions == trace.instructions
+
+    def test_payload_survives_json(self):
+        from repro.trace.container import Trace
+
+        trace = _build_trace()
+        payload = json.loads(json.dumps(trace.to_payload()))
+        assert Trace.from_payload(payload).instructions == trace.instructions
+
+    def test_unknown_format_rejected(self):
+        from repro.trace.container import Trace
+
+        payload = _build_trace().to_payload()
+        payload["format"] = 99
+        with pytest.raises(ValueError):
+            Trace.from_payload(payload)
+
+
+class TestTraceCache:
+    def test_miss_then_hit_equal_trace(self, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        assert cache.get(point) is None
+        assert cache.misses == 1
+
+        trace = _build_trace()
+        cache.put(point, trace)
+        cached = cache.get(point)
+        assert cached is not None and cache.hits == 1
+        assert cached.instructions == trace.instructions
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        with open(cache.path_for(point), "w") as f:
+            f.write("{definitely not json")
+        assert cache.get(point) is None
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        path = cache.path_for(point)
+        with open(path) as f:
+            content = f.read()
+        with open(path, "w") as f:
+            f.write(content[: len(content) // 2])
+        assert cache.get(point) is None
+
+    def test_key_sensitivity(self):
+        base = trace_key("comp", "mom", _SPEC)
+        assert base == trace_key("comp", "mom", _SPEC)
+        assert base != trace_key("comp", "mmx", _SPEC)
+        assert base != trace_key("h2v2", "mom", _SPEC)
+        assert base != trace_key("comp", "mom", WorkloadSpec(scale=2, seed=7))
+        assert base != trace_key("comp", "mom", WorkloadSpec(scale=1, seed=8))
+        assert base != trace_key("comp", "mom", _SPEC, builder_version="other")
+
+    def test_key_independent_of_config(self):
+        cache = TraceCache("unused")
+        a = SweepPoint("comp", "mom", MachineConfig.for_way(1), _SPEC)
+        b = SweepPoint("comp", "mom", MachineConfig.for_way(8), _SPEC)
+        assert cache.key_for(a) == cache.key_for(b)
+
+    def test_builder_version_stamped_in_entry(self, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        with open(cache.path_for(point)) as f:
+            entry = json.load(f)
+        assert entry["builder_version"] == BUILDER_VERSION
+        assert entry["kernel"] == "comp" and entry["isa"] == "mom"
+
+
+class TestEngineIntegration:
+    def _sweep(self, config=_CFG):
+        return SweepSpec.make(kernels=["comp", "addblock"], configs=[config],
+                              spec=_SPEC)
+
+    def test_cold_run_populates_then_warm_miss_does_zero_builds(
+            self, tmp_path, build_counter):
+        cold = SweepEngine(cache_dir=str(tmp_path))
+        cold_results = cold.run(self._sweep())
+        assert cold.last_trace_builds == len(cold_results)
+        assert cold.last_trace_hits == 0
+        assert len(build_counter) == len(cold_results)
+
+        # Same kernels/workload on a *different* machine configuration: the
+        # result cache misses every point, the trace cache serves every trace.
+        build_counter.clear()
+        warm_miss = SweepEngine(cache_dir=str(tmp_path))
+        results = warm_miss.run(self._sweep(MachineConfig.for_way(1)))
+        assert warm_miss.last_simulated == len(results)
+        assert warm_miss.last_cached == 0
+        assert warm_miss.last_trace_hits == len(results)
+        assert warm_miss.last_trace_builds == 0
+        assert build_counter == [], "warm miss must perform zero trace builds"
+        assert all(r.trace_cached and not r.cached for r in results)
+
+        # And the numbers equal an uncached fresh run.
+        fresh = SweepEngine().run(self._sweep(MachineConfig.for_way(1)))
+        assert [r.sim for r in results] == [r.sim for r in fresh]
+        assert [r.stats for r in results] == [r.stats for r in fresh]
+
+    def test_warm_rerun_does_zero_builds_and_zero_simulations(
+            self, tmp_path, build_counter):
+        SweepEngine(cache_dir=str(tmp_path)).run(self._sweep())
+        build_counter.clear()
+        warm = SweepEngine(cache_dir=str(tmp_path))
+        results = warm.run(self._sweep())
+        assert warm.last_simulated == 0
+        assert warm.last_cached == len(results)
+        assert build_counter == []
+
+    def test_corrupt_trace_entry_falls_back_to_rebuild(self, tmp_path,
+                                                       build_counter):
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        engine = SweepEngine(cache_dir=str(tmp_path))
+        engine.run([point])
+        with open(engine.trace_cache.path_for(point), "w") as f:
+            f.write("garbage")
+
+        build_counter.clear()
+        again = SweepEngine(cache_dir=str(tmp_path), version="v2")
+        results = again.run([point])
+        assert again.last_trace_builds == 1
+        assert build_counter == [("comp", "mom")]
+        assert results[0].sim.cycles > 0
+
+    def test_trace_cached_results_are_checked_by_provenance(self, tmp_path):
+        engine = SweepEngine(cache_dir=str(tmp_path))
+        engine.run(self._sweep())
+        warm_miss = SweepEngine(cache_dir=str(tmp_path),
+                                trace_cache=os.path.join(str(tmp_path),
+                                                         "traces"))
+        results = warm_miss.run(self._sweep(MachineConfig.for_way(2)))
+        assert all(r.checked and r.correct for r in results)
+
+    def test_unchecked_runs_do_not_write_the_trace_cache(self, tmp_path):
+        engine = SweepEngine(cache_dir=str(tmp_path), check=False)
+        engine.run([SweepPoint("comp", "mom", _CFG, _SPEC)])
+        assert engine.trace_cache.get(
+            SweepPoint("comp", "mom", _CFG, _SPEC)) is None
+
+    def test_keep_builds_bypasses_the_trace_cache(self, tmp_path,
+                                                  build_counter):
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        SweepEngine(cache_dir=str(tmp_path)).run([point])
+        build_counter.clear()
+        engine = SweepEngine(cache_dir=str(tmp_path))
+        results = engine.run([point], keep_builds=True)
+        assert results[0].build is not None
+        assert build_counter == [("comp", "mom")]
+
+    def test_trace_cache_disabled_explicitly(self, tmp_path, build_counter):
+        engine = SweepEngine(cache_dir=str(tmp_path), trace_cache=False)
+        assert engine.trace_cache is None
+        engine.run([SweepPoint("comp", "mom", _CFG, _SPEC)])
+        assert not os.path.isdir(os.path.join(str(tmp_path), "traces"))
+
+    def test_parallel_workers_share_the_trace_cache(self, tmp_path):
+        """jobs>1 workers read (and write) the same on-disk trace store."""
+        sweep = self._sweep()
+        SweepEngine(cache_dir=str(tmp_path)).run(sweep)
+        parallel = SweepEngine(jobs=2, cache_dir=str(tmp_path), version="v2")
+        results = parallel.run(sweep)
+        if parallel.last_fallback_reason is None:
+            assert parallel.last_trace_hits == len(results)
+            assert parallel.last_trace_builds == 0
+        serial = SweepEngine().run(sweep)
+        assert [r.sim for r in results] == [r.sim for r in serial]

@@ -67,9 +67,13 @@ class TestCommands:
         argv = ["sweep", "--kernels", "comp", "--isas", "mom", "--scale", "1",
                 "--jobs", "2", "--cache-dir", str(tmp_path)]
         assert main(argv) == 0
-        assert "simulated 1 point(s), 0 from cache" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "1 point(s) simulated, 0 from cache" in out
+        assert "1 trace build(s)" in out
         assert main(argv) == 0
-        assert "simulated 0 point(s), 1 from cache" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "0 point(s) simulated, 1 from cache" in out
+        assert "0 trace hit(s), 0 trace build(s)" in out
 
     def test_sweep_seed_applies_without_scale(self, capsys, tmp_path):
         """--seed must flow into the workload spec even when each kernel
@@ -87,6 +91,10 @@ class TestCommands:
             for name in files:
                 with open(os.path.join(root, name)) as f:
                     entries.append(json.load(f))
-        assert len(entries) == 1
-        assert entries[0]["workload"]["seed"] == 7
-        assert entries[0]["workload"]["scale"] == get_kernel("comp").default_scale
+        results = [e for e in entries if "sim" in e]
+        traces = [e for e in entries if "trace" in e]
+        assert len(results) == 1
+        assert len(traces) == 1, "cache-dir sweeps also populate the trace cache"
+        for entry in results + traces:
+            assert entry["workload"]["seed"] == 7
+            assert entry["workload"]["scale"] == get_kernel("comp").default_scale
