@@ -228,9 +228,17 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "gc":
             sub_p.add_argument("--max-mb", type=float, default=None,
                                help="keep the cache at or under this many "
-                                    "megabytes (oldest entries evicted first)")
+                                    "megabytes (least-recently-used entries "
+                                    "evicted first)")
             sub_p.add_argument("--max-age-days", type=float, default=None,
-                               help="evict entries older than this many days")
+                               help="evict entries unused for more than this "
+                                    "many days")
+            sub_p.add_argument("--keep-traces", action="store_true",
+                               help="never evict trace entries (prune "
+                                    "results only)")
+            sub_p.add_argument("--keep-results", action="store_true",
+                               help="never evict result entries (prune "
+                                    "traces only)")
 
     return parser
 
@@ -380,17 +388,22 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"  total    {stats.total_entries:6d} entr"
               f"{'y' if stats.total_entries == 1 else 'ies'}, "
               f"{_format_bytes(stats.total_bytes)}")
+        if stats.entries["traces"]:
+            print(f"  lowered payloads: {stats.lowered_entries} current, "
+                  f"{stats.stale_lowered_entries} stale/absent")
         if stats.oldest_mtime is not None:
             age = time.time() - stats.oldest_mtime
-            print(f"  oldest entry: {age / 86400:.1f} day(s) old")
+            print(f"  least recently used entry: {age / 86400:.1f} day(s) ago")
         return 0
     if args.cache_command == "gc":
         max_bytes = (int(args.max_mb * 1024 * 1024)
                      if args.max_mb is not None else None)
         max_age = (args.max_age_days * 86400
                    if args.max_age_days is not None else None)
+        keep = ([] if not args.keep_traces else ["traces"]) + (
+            [] if not args.keep_results else ["results"])
         report = gc_cache(args.cache_dir, max_bytes=max_bytes,
-                          max_age_seconds=max_age)
+                          max_age_seconds=max_age, keep=keep)
         print(f"evicted {report.removed} entr"
               f"{'y' if report.removed == 1 else 'ies'} "
               f"({_format_bytes(report.bytes_freed)} freed); "

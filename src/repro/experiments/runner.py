@@ -18,7 +18,8 @@ from repro.timing.results import SimResult
 from repro.trace.stats import TraceStats, summarize_trace
 from repro.workloads.generators import WorkloadSpec
 
-__all__ = ["RunResult", "run_kernel", "run_kernel_all_isas"]
+__all__ = ["RunResult", "build_kernel_variant", "run_kernel",
+           "run_kernel_all_isas"]
 
 
 @dataclass
@@ -46,6 +47,31 @@ class RunResult:
         return self.build.correct
 
 
+def build_kernel_variant(
+    kernel_name: str,
+    isa: str,
+    spec: Optional[WorkloadSpec] = None,
+    workload: Optional[dict] = None,
+    check: bool = True,
+) -> KernelBuildResult:
+    """Build (without simulating) one kernel variant.
+
+    Raises ``AssertionError`` if ``check`` is set and the variant's output
+    does not match the golden reference — a build whose functional output is
+    wrong must never silently contribute timing numbers.  This is the single
+    home of that rule, shared by :func:`run_kernel` and the sweep engine's
+    trace batching.
+    """
+    kernel = get_kernel(kernel_name)
+    build = kernel.run_variant(isa, spec=spec, workload=workload)
+    if check and not build.correct:
+        raise AssertionError(
+            f"{kernel_name}/{isa}: functional output does not match the golden "
+            f"reference (max abs error {build.max_abs_error()})"
+        )
+    return build
+
+
 def run_kernel(
     kernel_name: str,
     isa: str,
@@ -57,16 +83,10 @@ def run_kernel(
     """Build and simulate one kernel variant.
 
     Raises ``AssertionError`` if ``check`` is set and the variant's output
-    does not match the golden reference — a run whose functional output is
-    wrong must never silently contribute timing numbers.
+    does not match the golden reference (see :func:`build_kernel_variant`).
     """
-    kernel = get_kernel(kernel_name)
-    build = kernel.run_variant(isa, spec=spec, workload=workload)
-    if check and not build.correct:
-        raise AssertionError(
-            f"{kernel_name}/{isa}: functional output does not match the golden "
-            f"reference (max abs error {build.max_abs_error()})"
-        )
+    build = build_kernel_variant(kernel_name, isa, spec=spec,
+                                 workload=workload, check=check)
     config = config if config is not None else MachineConfig.for_way(4)
     sim = simulate_trace(build.trace, config)
     stats = summarize_trace(build.trace)

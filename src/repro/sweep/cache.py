@@ -178,6 +178,10 @@ class ResultCache:
         by an older code version that stored fewer fields) counts as a
         plain miss — the point is recomputed rather than crashing the
         sweep.
+
+        A hit touches the entry's mtime so age/size eviction
+        (:func:`repro.sweep.manage.gc_cache`) is least-recently-*used*, not
+        least-recently-written.
         """
         path = self._path(self.key_for(point))
         try:
@@ -187,6 +191,10 @@ class ResultCache:
         except (OSError, ValueError, KeyError, TypeError):
             self.misses += 1
             return None
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
         self.hits += 1
         return result
 

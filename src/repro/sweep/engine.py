@@ -14,6 +14,17 @@ points get executed:
   *result* misses but whose functional trace is cached skips the dominant
   trace-rebuild cost — in every process, parent or worker).
 
+Points are executed in **trace batches**: the points left after the result-
+cache scan are grouped by trace identity (kernel, ISA, workload), and each
+group acquires its functional trace exactly once — from the trace cache or
+one front-end build — lowers it once
+(:meth:`~repro.trace.container.Trace.lower`) and simulates every machine
+configuration in the group off the shared
+:class:`~repro.timing.lowered.LoweredTrace`.  Under a worker pool one group
+is one task, so no two workers ever build the same trace concurrently (the
+old cold-cache duplicate-build race is gone by construction), and the
+build/lowering cost is amortised to ~zero per point.
+
 Results stream: :meth:`SweepEngine.iter_results` yields each
 :class:`PointResult` the moment it completes (cache hits first, then
 simulations in completion order), and both it and :meth:`SweepEngine.run`
@@ -34,13 +45,14 @@ import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import (Callable, Iterable, Iterator, List, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
 from repro.sweep.cache import ResultCache
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.sweep.tracecache import TRACE_SUBDIR, TraceCache
 from repro.timing.results import SimResult
+from repro.trace.container import Trace
 from repro.trace.stats import TraceStats
 
 __all__ = ["PointResult", "SweepEngine", "ensure_engine"]
@@ -127,51 +139,95 @@ class PointResult:
         return self.checked
 
 
-def _simulate_point(point: SweepPoint, check: bool,
-                    trace_cache: Optional[TraceCache],
-                    keep_builds: bool = False,
-                    ) -> Tuple[SimResult, TraceStats, object, bool]:
-    """Run one resolved point in the current process.
+def _trace_identity(point: SweepPoint) -> Tuple[str, str, int, int]:
+    """Grouping key of the functional trace behind a (resolved) point.
 
-    Returns ``(sim, stats, build, trace_cached)``.  With a trace cache, the
-    functional trace is deserialized instead of rebuilt when present
-    (``build`` is then None); a fresh verified build stores its trace for
-    every later run and worker.  ``keep_builds`` forces a real build — a
-    cached trace carries no outputs to retain.
+    Mirrors :func:`~repro.sweep.tracecache.trace_key` minus the builder
+    version (constant within one process): two points with equal identity
+    are simulated off one shared trace/lowering.
     """
-    # Local imports: keep module import light and avoid a cycle with the
-    # experiments layer, which imports the engine.
-    from repro.experiments.runner import run_kernel
-    from repro.timing.core import simulate_trace
-    from repro.trace.stats import summarize_trace
+    return (point.kernel, point.isa, point.spec.scale, point.spec.seed)
 
-    if trace_cache is not None and not keep_builds:
+
+def _group_by_trace(points: Sequence[SweepPoint],
+                    indices: Iterable[int]) -> List[List[int]]:
+    """Group point indices by trace identity, keeping expansion order."""
+    groups: Dict[Tuple[str, str, int, int], List[int]] = {}
+    for i in indices:
+        groups.setdefault(_trace_identity(points[i]), []).append(i)
+    return list(groups.values())
+
+
+def _acquire_trace(point: SweepPoint, check: bool,
+                   trace_cache: Optional[TraceCache]) -> Tuple[Trace, bool]:
+    """Fetch the point's functional trace from the cache or build it once.
+
+    Returns ``(trace, from_cache)``.  A fresh verified build stores its
+    trace (with the lowered payload) for every later run and worker —
+    mirroring the result cache's rule that only verified work is admitted.
+    """
+    # Local import: avoids a cycle with the experiments layer, which
+    # imports the engine.
+    from repro.experiments.runner import build_kernel_variant
+
+    if trace_cache is not None:
         trace = trace_cache.get(point)
         if trace is not None:
-            sim = simulate_trace(trace, point.config)
-            return sim, summarize_trace(trace), None, True
+            return trace, True
+    build = build_kernel_variant(point.kernel, point.isa, spec=point.spec,
+                                 check=check)
+    if trace_cache is not None and check:
+        trace_cache.put(point, build.trace)
+    return build.trace, False
+
+
+def _simulate_group(points: Sequence[SweepPoint], check: bool,
+                    trace_cache: Optional[TraceCache],
+                    ) -> Tuple[List[Tuple[SimResult, TraceStats, bool]], int]:
+    """Run one trace-sharing group of resolved points in this process.
+
+    The trace is acquired once and lowered once; every configuration in the
+    group is simulated off the shared flat arrays.  Returns the per-point
+    ``(sim, stats, trace_cached)`` rows plus how many front-end builds ran
+    (0 or 1).
+    """
+    from repro.timing.core import OutOfOrderCore
+    from repro.trace.stats import summarize_trace
+
+    trace, from_cache = _acquire_trace(points[0], check, trace_cache)
+    stats = summarize_trace(trace)
+    lowered = trace.lower()
+    rows = [(OutOfOrderCore(p.config).run_lowered(lowered), stats, from_cache)
+            for p in points]
+    return rows, 0 if from_cache else 1
+
+
+def _simulate_point_with_build(point: SweepPoint, check: bool,
+                               ) -> Tuple[SimResult, TraceStats, object]:
+    """Run one resolved point keeping its functional build (serial only).
+
+    Builds hold traces and NumPy arrays that should not be shipped between
+    processes, and a cached trace carries no outputs to retain — so this
+    path always builds, bypassing the trace cache for reads.
+    """
+    from repro.experiments.runner import run_kernel
 
     run = run_kernel(point.kernel, point.isa, config=point.config,
                      spec=point.spec, check=check)
-    # Mirror the result cache's rule: only verified builds enter the cache,
-    # so a later hit inherits this run's correctness guarantee.
-    if trace_cache is not None and check:
-        trace_cache.put(point, run.build.trace)
-    return run.sim, run.stats, run.build, False
+    return run.sim, run.stats, run.build
 
 
-def _pool_worker(args: Tuple[SweepPoint, bool, Optional[str]]
-                 ) -> Tuple[SimResult, TraceStats, bool]:
-    """Top-level (picklable) worker for the process pool.
+def _pool_worker(args: Tuple[Tuple[SweepPoint, ...], bool, Optional[str]]
+                 ) -> Tuple[List[Tuple[SimResult, TraceStats, bool]], int]:
+    """Top-level (picklable) worker for the process pool: one trace group.
 
-    The functional build stays in the worker — only the compact result
-    records (and whether the trace came from the shared on-disk cache)
-    travel back to the parent.
+    The functional build and the lowered trace stay in the worker — only
+    the compact result rows (and whether the trace came from the shared
+    on-disk cache, plus the build count) travel back to the parent.
     """
-    point, check, trace_dir = args
+    points, check, trace_dir = args
     trace_cache = TraceCache(trace_dir) if trace_dir else None
-    sim, stats, _build, trace_cached = _simulate_point(point, check, trace_cache)
-    return sim, stats, trace_cached
+    return _simulate_group(points, check, trace_cache)
 
 
 class SweepEngine:
@@ -218,8 +274,15 @@ class SweepEngine:
         self.last_cached = 0
         #: Of the simulated points, how many got their trace from the cache.
         self.last_trace_hits = 0
-        #: Of the simulated points, how many had to build their trace.
+        #: Front-end builds the most recent run executed.  Points sharing a
+        #: trace are batched, so this counts *distinct traces built* — with
+        #: a warm trace cache it is zero, and it never exceeds the number of
+        #: distinct (kernel, ISA, workload) combinations in the sweep.
         self.last_trace_builds = 0
+        #: Tasks the most recent run submitted to the worker pool (0 when
+        #: everything ran serially).  Usually the number of trace groups;
+        #: larger when warm groups were split to keep the pool busy.
+        self.last_pool_tasks = 0
         #: Why the most recent run fell back to serial execution (if it did).
         self.last_fallback_reason: Optional[str] = None
 
@@ -276,6 +339,7 @@ class SweepEngine:
         self.last_cached = 0
         self.last_trace_hits = 0
         self.last_trace_builds = 0
+        self.last_pool_tasks = 0
         self.last_fallback_reason = None
 
         def emit(result: PointResult) -> PointResult:
@@ -306,26 +370,58 @@ class SweepEngine:
             # On pool failure `remaining` still holds what the pool did not
             # finish; the serial loop below completes the sweep.
 
-        for i in list(remaining):
-            sim, stats, build, trace_cached = _simulate_point(
-                points[i], self.check, self.trace_cache,
-                keep_builds=keep_builds)
-            remaining.remove(i)
-            result = PointResult(point=points[i], sim=sim, stats=stats,
-                                 trace_cached=trace_cached,
-                                 build=build if keep_builds else None,
-                                 checked=self.check or trace_cached, index=i)
+        for result in self._iter_serial(points, remaining, keep_builds):
             yield emit(self._record(result))
 
     # ------------------------------------------------------------------
+
+    def _iter_serial(self, points: Sequence[SweepPoint],
+                     remaining: List[int],
+                     keep_builds: bool) -> Iterator[PointResult]:
+        """Yield the remaining points' results, simulated in this process.
+
+        Points are batched by trace identity — one trace acquisition and
+        one lowering per group, then one simulation per point, yielded as
+        each completes (the generator stays lazy: nothing is simulated
+        ahead of the consumer).  ``keep_builds`` disables batching: every
+        point runs its own front-end build so each result can retain one.
+        """
+        from repro.timing.core import OutOfOrderCore
+        from repro.trace.stats import summarize_trace
+
+        if keep_builds:
+            for i in list(remaining):
+                sim, stats, build = _simulate_point_with_build(
+                    points[i], self.check)
+                remaining.remove(i)
+                self.last_trace_builds += 1
+                # keep_builds bypasses both caches for *reads*, but a fresh
+                # verified trace is still published for later sweeps.
+                if self.trace_cache is not None and self.check:
+                    self.trace_cache.put(points[i], build.trace)
+                yield PointResult(point=points[i], sim=sim, stats=stats,
+                                  build=build, checked=self.check, index=i)
+            return
+
+        for group in _group_by_trace(points, list(remaining)):
+            trace, from_cache = _acquire_trace(points[group[0]], self.check,
+                                               self.trace_cache)
+            if not from_cache:
+                self.last_trace_builds += 1
+            stats = summarize_trace(trace)
+            lowered = trace.lower()
+            for i in group:
+                sim = OutOfOrderCore(points[i].config).run_lowered(lowered)
+                remaining.remove(i)
+                yield PointResult(point=points[i], sim=sim, stats=stats,
+                                  trace_cached=from_cache,
+                                  checked=self.check or from_cache, index=i)
 
     def _record(self, result: PointResult) -> PointResult:
         """Account for one fresh (non-result-cached) result and cache it."""
         self.last_simulated += 1
         if result.trace_cached:
             self.last_trace_hits += 1
-        else:
-            self.last_trace_builds += 1
         # Only verified results may enter the cache: entries carry no
         # "unchecked" marker, so a check=False run must not poison the
         # cache for later check=True engines.
@@ -333,10 +429,47 @@ class SweepEngine:
             self.cache.put(result.point, result.sim, result.stats)
         return result
 
+    def _split_warm_groups(self, groups: List[List[int]],
+                           points: Sequence[SweepPoint]) -> List[List[int]]:
+        """Split cached-trace groups so the pool has ~``jobs`` tasks.
+
+        Only groups whose trace entry already exists on disk are split —
+        their chunks all read the cache, so no front-end build can be
+        duplicated.  A cold group stays whole (one build, exactly once).
+        The rare race where an entry is evicted between this probe and the
+        worker's read degrades to a rebuild per chunk — the pre-batching
+        behaviour, a performance blip, never a correctness issue.
+        """
+        chunks_per_group = -(-self.jobs // len(groups))  # ceil
+        if chunks_per_group < 2:
+            return groups
+        out: List[List[int]] = []
+        for group in groups:
+            if (len(group) < 2
+                    or not os.path.exists(
+                        self.trace_cache.path_for(points[group[0]]))):
+                out.append(group)
+                continue
+            size = -(-len(group) // min(len(group), chunks_per_group))
+            out.extend(group[j:j + size]
+                       for j in range(0, len(group), size))
+        return out
+
     def _iter_pool(self, points: Sequence[SweepPoint],
                    remaining: List[int]) -> Iterator[PointResult]:
         """Yield pool-computed results, removing their indices from
         ``remaining`` as they land.
+
+        One submitted task is normally one *trace group* (see module
+        docstring): the worker acquires and lowers the group's trace once
+        and simulates all of its configurations, so each distinct trace is
+        built at most once across the whole pool — duplicate concurrent
+        builds of the same trace cannot happen.  When that would leave the
+        pool under-subscribed (fewer groups than workers — the shape of a
+        config-heavy ablation sweep), groups whose trace is already on disk
+        are split into smaller tasks: every chunk is a pure cache read, so
+        the build-once guarantee is unaffected and the simulations spread
+        across the pool.
 
         Any pool-infrastructure failure — at pool creation, at submit time
         (e.g. ``PicklingError``/``OSError`` while shipping a point) or
@@ -346,7 +479,11 @@ class SweepEngine:
         """
         trace_dir = (self.trace_cache.cache_dir
                      if self.trace_cache is not None else None)
-        workers = min(self.jobs, len(remaining), (os.cpu_count() or 1) * 4)
+        groups = _group_by_trace(points, remaining)
+        if self.trace_cache is not None and len(groups) < self.jobs:
+            groups = self._split_warm_groups(groups, points)
+        self.last_pool_tasks = len(groups)
+        workers = min(self.jobs, len(groups), (os.cpu_count() or 1) * 4)
         try:
             pool = ProcessPoolExecutor(max_workers=workers)
         except _POOL_FALLBACK_ERRORS as exc:
@@ -355,9 +492,11 @@ class SweepEngine:
         try:
             try:
                 futures = {
-                    pool.submit(_pool_worker,
-                                (points[i], self.check, trace_dir)): i
-                    for i in list(remaining)
+                    pool.submit(
+                        _pool_worker,
+                        (tuple(points[i] for i in group), self.check,
+                         trace_dir)): group
+                    for group in groups
                 }
             except _POOL_FALLBACK_ERRORS as exc:
                 self.last_fallback_reason = (
@@ -367,18 +506,21 @@ class SweepEngine:
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
-                    i = futures[future]
+                    group = futures[future]
                     try:
-                        sim, stats, trace_cached = future.result()
+                        rows, builds = future.result()
                     except _POOL_FALLBACK_ERRORS as exc:
                         self.last_fallback_reason = (
                             f"{type(exc).__name__}: {exc}")
                         return
-                    remaining.remove(i)
-                    yield PointResult(point=points[i], sim=sim, stats=stats,
-                                      trace_cached=trace_cached,
-                                      checked=self.check or trace_cached,
-                                      index=i)
+                    self.last_trace_builds += builds
+                    for i, (sim, stats, trace_cached) in zip(group, rows):
+                        remaining.remove(i)
+                        yield PointResult(point=points[i], sim=sim,
+                                          stats=stats,
+                                          trace_cached=trace_cached,
+                                          checked=self.check or trace_cached,
+                                          index=i)
         finally:
             # Runs on normal completion, on fallback, and — crucially — when
             # the consumer closes the generator early (GeneratorExit at a

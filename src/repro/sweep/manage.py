@@ -18,16 +18,23 @@ Eviction policy (:func:`gc_cache`):
 2. If the survivors still exceed ``max_bytes`` (when given), drop
    oldest-first until the total fits.
 
+Both caches touch entries on read, so "oldest" means least recently *used*
+(true LRU), and a whole section can be exempted from eviction with ``keep``
+(``repro cache gc --keep-traces`` / ``--keep-results`` — e.g. protect the
+expensive-to-rebuild traces while pruning cheap-to-recompute results).
+
 The CLI exposes this as ``repro cache stats|gc|clear``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional
 
 from repro.sweep.tracecache import TRACE_SUBDIR
+from repro.timing.lowered import LOWERING_VERSION
 
 __all__ = ["CacheEntry", "CacheStats", "GCReport",
            "iter_cache_entries", "cache_stats", "gc_cache", "clear_cache"]
@@ -55,6 +62,12 @@ class CacheStats:
         default_factory=lambda: {s: 0 for s in _SECTIONS})
     bytes: Dict[str, int] = field(
         default_factory=lambda: {s: 0 for s in _SECTIONS})
+    #: Trace entries carrying a lowered payload of the *live*
+    #: LOWERING_VERSION (a warm read of these skips the lowering pass too).
+    lowered_entries: int = 0
+    #: Trace entries whose lowered payload is missing or version-stale
+    #: (still valid traces; they re-lower on first use).
+    stale_lowered_entries: int = 0
     oldest_mtime: Optional[float] = None
     newest_mtime: Optional[float] = None
 
@@ -111,12 +124,35 @@ def iter_cache_entries(cache_dir: str) -> Iterator[CacheEntry]:
     yield from _iter_section(os.path.join(cache_dir, TRACE_SUBDIR), "traces")
 
 
+def _has_live_lowering(path: str) -> bool:
+    """Whether a trace entry embeds a current-LOWERING_VERSION payload."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            entry = json.load(f)
+        lowered = entry.get("lowered")
+        return (isinstance(lowered, dict)
+                and lowered.get("lowering_version") == LOWERING_VERSION)
+    except (OSError, ValueError):
+        return False
+
+
 def cache_stats(cache_dir: str) -> CacheStats:
-    """Scan a cache root and return per-section entry/byte counts."""
+    """Scan a cache root and return per-section entry/byte counts.
+
+    Trace entries are additionally opened to classify their lowered
+    payloads (:attr:`CacheStats.lowered_entries` /
+    :attr:`CacheStats.stale_lowered_entries`) — this is an admin-path scan,
+    not something the sweep hot path ever runs.
+    """
     stats = CacheStats(cache_dir=os.fspath(cache_dir))
     for entry in iter_cache_entries(cache_dir):
         stats.entries[entry.section] += 1
         stats.bytes[entry.section] += entry.size
+        if entry.section == "traces":
+            if _has_live_lowering(entry.path):
+                stats.lowered_entries += 1
+            else:
+                stats.stale_lowered_entries += 1
         if stats.oldest_mtime is None or entry.mtime < stats.oldest_mtime:
             stats.oldest_mtime = entry.mtime
         if stats.newest_mtime is None or entry.mtime > stats.newest_mtime:
@@ -140,8 +176,12 @@ def _remove(entry: CacheEntry, report: GCReport) -> None:
 
 def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
              max_age_seconds: Optional[float] = None,
-             now: Optional[float] = None) -> GCReport:
+             now: Optional[float] = None,
+             keep: Iterable[str] = ()) -> GCReport:
     """Evict cache entries by age and/or total size; returns a report.
+
+    Both caches touch entries on read, so mtime-ordered eviction is true
+    least-recently-used.
 
     Parameters
     ----------
@@ -149,25 +189,36 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
         Shared cache root (results + traces).
     max_bytes:
         Keep total on-disk size at or under this many bytes, evicting
-        oldest entries first.  ``None`` puts no size bound.
+        least-recently-used entries first.  ``None`` puts no size bound.
     max_age_seconds:
-        Evict every entry older than this.  ``None`` puts no age bound.
+        Evict every entry unused for longer than this.  ``None`` puts no
+        age bound.
     now:
         Reference timestamp for age computation (defaults to the current
         time; tests pin it).
+    keep:
+        Section names (``"results"``, ``"traces"``) exempt from eviction;
+        their entries always survive but still count toward the size bound,
+        so e.g. ``keep=("traces",)`` prunes results until the *combined*
+        total fits or no evictable entry is left.
 
     With neither bound given this is a no-op scan.
     """
     import time
 
     reference = time.time() if now is None else now
+    protected = frozenset(keep)
+    unknown = protected.difference(_SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown cache section(s) in keep: {sorted(unknown)}")
     entries: List[CacheEntry] = sorted(iter_cache_entries(cache_dir),
                                        key=lambda e: e.mtime)
     report = GCReport()
 
     survivors: List[CacheEntry] = []
     for entry in entries:
-        if (max_age_seconds is not None
+        if (entry.section not in protected
+                and max_age_seconds is not None
                 and reference - entry.mtime > max_age_seconds):
             _remove(entry, report)
         else:
@@ -175,14 +226,18 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
 
     if max_bytes is not None:
         total = sum(e.size for e in survivors)
-        # survivors are oldest-first: evict from the front until we fit.
-        idx = 0
-        while total > max_bytes and idx < len(survivors):
-            entry = survivors[idx]
+        removed_paths = set()
+        # survivors are least-recently-used-first: evict evictable entries
+        # from the front until the total fits.
+        for entry in survivors:
+            if total <= max_bytes:
+                break
+            if entry.section in protected:
+                continue
             _remove(entry, report)
+            removed_paths.add(entry.path)
             total -= entry.size
-            idx += 1
-        survivors = survivors[idx:]
+        survivors = [e for e in survivors if e.path not in removed_paths]
 
     report.kept = len(survivors)
     report.bytes_kept = sum(e.size for e in survivors)

@@ -28,6 +28,18 @@ against the NumPy golden reference, mirroring the result cache's rule, so a
 cache hit carries the original build's correctness guarantee.  Unreadable,
 truncated or format-mismatched entries count as plain misses — the trace is
 rebuilt rather than crashing the sweep.
+
+Each entry also embeds the trace's **lowered payload** (the flat-array
+compilation the fast timing backend executes, see
+:mod:`repro.timing.lowered`), stamped with
+:data:`~repro.timing.lowered.LOWERING_VERSION`.  A hit revives the lowering
+together with the trace, so a warm-miss sweep does zero front-end builds
+*and* zero lowering passes; a version-mismatched or malformed lowered
+payload is simply ignored (the trace re-lowers on demand) — never a miss
+for the trace itself.
+
+Reads touch the entry's mtime, making ``repro cache gc`` eviction true LRU
+rather than write-time LRU.
 """
 
 from __future__ import annotations
@@ -40,6 +52,7 @@ from typing import Any, Dict, Optional
 
 from repro.frontend.builders import BUILDER_VERSION
 from repro.sweep.spec import SweepPoint
+from repro.timing.lowered import LoweredTrace
 from repro.trace.container import Trace
 from repro.workloads.generators import WorkloadSpec
 
@@ -123,7 +136,14 @@ class TraceCache:
         """Return the cached :class:`~repro.trace.container.Trace`, or None.
 
         Any unreadable, corrupt, truncated or format-mismatched entry is a
-        plain miss: the caller rebuilds the trace from the front end.
+        plain miss: the caller rebuilds the trace from the front end.  A
+        valid entry whose *lowered* payload is stale (different
+        :data:`~repro.timing.lowered.LOWERING_VERSION`) or malformed is
+        still a hit — the lowering is recomputed from the trace on demand.
+
+        A hit touches the entry's mtime so age/size eviction
+        (:func:`repro.sweep.manage.gc_cache`) is least-recently-*used*, not
+        least-recently-written.
         """
         path = self._path(self.key_for(point))
         try:
@@ -133,11 +153,21 @@ class TraceCache:
         except (OSError, ValueError, KeyError, IndexError, TypeError):
             self.misses += 1
             return None
+        lowered_payload = entry.get("lowered")
+        if isinstance(lowered_payload, dict):
+            try:
+                trace.attach_lowered(LoweredTrace.from_payload(lowered_payload))
+            except (ValueError, KeyError, IndexError, TypeError):
+                pass
+        try:
+            os.utime(path, None)
+        except OSError:
+            pass
         self.hits += 1
         return trace
 
     def put(self, point: SweepPoint, trace: Trace) -> str:
-        """Store one trace; returns the cache key.
+        """Store one trace (with its lowered payload); returns the cache key.
 
         The write is atomic (tempfile + rename), so concurrent sweeps and
         worker processes sharing the directory never observe a half-written
@@ -154,6 +184,10 @@ class TraceCache:
             "isa": point.isa,
             "workload": {"scale": point.spec.scale, "seed": point.spec.seed},
             "trace": trace.to_payload(),
+            # The flat-array compilation, self-stamped with the live
+            # LOWERING_VERSION; readers on another lowering version ignore
+            # it and re-lower from the trace.
+            "lowered": trace.lower().to_payload(),
         }
         fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
         try:

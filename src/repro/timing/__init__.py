@@ -17,12 +17,16 @@ completes.
 
 from repro.timing.config import MachineConfig, WAY_CONFIGS
 from repro.timing.core import OutOfOrderCore, simulate_trace
+from repro.timing.lowered import LOWERING_VERSION, LoweredTrace, lower_trace
 from repro.timing.results import SimResult
 
 __all__ = [
+    "LOWERING_VERSION",
+    "LoweredTrace",
     "MachineConfig",
     "WAY_CONFIGS",
     "OutOfOrderCore",
+    "lower_trace",
     "simulate_trace",
     "SimResult",
 ]

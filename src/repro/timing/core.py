@@ -22,14 +22,16 @@ pure-Python model fast enough to sweep the paper's full parameter space.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from heapq import heappop, heappush
+from typing import Dict, Optional, Union
 
 from repro.isa.opclasses import OpClass, RegFile
 from repro.timing.config import MachineConfig
+from repro.timing.lowered import REG_POOL_ORDER, LoweredTrace
 from repro.timing.resources import BandwidthLimiter, FunctionalUnitPool, SlotPool
 from repro.timing.results import SimResult
 from repro.trace.container import Trace
-from repro.trace.instruction import DynInstr, RegRef
+from repro.trace.instruction import RegRef
 
 __all__ = ["MODEL_VERSION", "OutOfOrderCore", "simulate_trace"]
 
@@ -59,11 +61,15 @@ class OutOfOrderCore:
     """One simulated out-of-order core instance.
 
     A core instance is single-use: create one per (trace, configuration)
-    pair, or use the :func:`simulate_trace` convenience wrapper.
+    pair, or use the :func:`simulate_trace` convenience wrapper.  A second
+    :meth:`run`/:meth:`run_lowered` call on the same instance raises —
+    resource scoreboards and stall counters carry state from the first run,
+    so reuse would silently corrupt the results.
     """
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
+        self._used = False
 
         # Functional units.
         self._int_alu = FunctionalUnitPool("ialu", config.num_int_alu)
@@ -137,39 +143,44 @@ class OutOfOrderCore:
 
     # ------------------------------------------------------------------
 
-    def _fu_for(self, instr: DynInstr) -> FunctionalUnitPool:
-        return self._fu_by_class[instr.opclass]
-
-    def _occupancy_of(self, instr: DynInstr) -> int:
-        """Cycles the instruction occupies its functional unit or port."""
+    def _occupancy_of(self, opclass: OpClass, vly: int,
+                      non_pipelined: bool) -> int:
+        """Cycles an instruction shape occupies its functional unit or port."""
         cfg = self.config
-        if instr.non_pipelined:
+        if non_pipelined:
             # Non-pipelined matrix ops (transpose) hold the unit for their
             # whole latency.
-            return cfg.latency_of(instr.opclass)
-        if instr.opclass.is_memory:
-            if instr.vly > 1:
-                return math.ceil(instr.vly / cfg.mem_port_width)
+            return cfg.latency_of(opclass)
+        if opclass.is_memory:
+            if vly > 1:
+                return math.ceil(vly / cfg.mem_port_width)
             return 1
-        if instr.opclass.is_media and instr.vly > 1:
-            return math.ceil(instr.vly / cfg.media_lanes)
+        if opclass.is_media and vly > 1:
+            return math.ceil(vly / cfg.media_lanes)
         return 1
 
-    def _completion_latency(self, instr: DynInstr, occupancy: int) -> int:
+    def _completion_latency(self, opclass: OpClass, vly: int,
+                            occupancy: int) -> int:
         """Cycles from issue to result availability."""
         cfg = self.config
-        base = cfg.latency_of(instr.opclass)
-        if instr.opclass.is_store:
+        base = cfg.latency_of(opclass)
+        if opclass.is_store:
             return 1
         latency = base + (occupancy - 1)
-        if (
-            instr.opclass is OpClass.MEDIA_ACC
-            and instr.vly > 1
-        ):
+        if opclass is OpClass.MEDIA_ACC and vly > 1:
             # MOM pipelined dimension-Y reduction: extra fixed latency for the
             # reduction tree (paper section 3.1).
             latency += cfg.mom_reduction_latency
         return latency
+
+    def _mark_used(self) -> None:
+        if self._used:
+            raise RuntimeError(
+                "OutOfOrderCore instances are single-use: resource "
+                "scoreboards and stall counters carry state from the first "
+                "run; create a fresh core (or call simulate_trace) per "
+                "(trace, configuration) pair")
+        self._used = True
 
     # ------------------------------------------------------------------
 
@@ -180,7 +191,13 @@ class OutOfOrderCore:
         in :attr:`timeline` as ``(opcode, rename, ready, issue, complete,
         commit)`` tuples — useful for debugging and for the micro-level unit
         tests of the timing model.
+
+        This is the object-level reference loop; :meth:`run_lowered` executes
+        the same interval model over a pre-compiled
+        :class:`~repro.timing.lowered.LoweredTrace` at a multiple of the
+        speed, with bit-identical cycle counts.
         """
+        self._mark_used()
         cfg = self.config
         rename_times = self._rename_times
         commit_times = self._commit_times
@@ -271,8 +288,11 @@ class OutOfOrderCore:
             # iterate to a fixed point that satisfies both.
             timing = op_timing.get((opclass, instr.vly, instr.non_pipelined))
             if timing is None:
-                occupancy = self._occupancy_of(instr)
-                timing = (occupancy, self._completion_latency(instr, occupancy))
+                occupancy = self._occupancy_of(opclass, instr.vly,
+                                               instr.non_pipelined)
+                timing = (occupancy,
+                          self._completion_latency(opclass, instr.vly,
+                                                   occupancy))
                 op_timing[(opclass, instr.vly, instr.non_pipelined)] = timing
             occupancy, latency = timing
 
@@ -346,14 +366,260 @@ class OutOfOrderCore:
             stall_breakdown=dict(self._stalls),
         )
 
+    # ------------------------------------------------------------------
 
-def simulate_trace(trace: Trace, config: Optional[MachineConfig] = None) -> SimResult:
+    def run_lowered(self, lowered: LoweredTrace,
+                    record_timeline: bool = False) -> SimResult:
+        """Simulate a pre-lowered trace; bit-identical to :meth:`run`.
+
+        The interval model is the same, but every per-instruction cost the
+        object loop pays is gone: instructions are rows of flat arrays,
+        register scoreboards are lists indexed by dense integer ids, the
+        ``(occupancy, latency, functional unit, issue queue)`` resolution
+        happens once per *shape*, and the resource trackers
+        (:class:`~repro.timing.resources.FunctionalUnitPool`,
+        :class:`~repro.timing.resources.BandwidthLimiter`,
+        :class:`~repro.timing.resources.SlotPool`) are inlined as raw
+        dicts/heaps local to the loop.  The inlined semantics are pinned to
+        the object implementations by the golden snapshots and the
+        equivalence suite in ``tests/timing/test_lowered.py``.
+        """
+        self._mark_used()
+        cfg = self.config
+        self.timeline: list[tuple] = []
+
+        # --- per-configuration shape resolution --------------------------
+        # Functional-unit scoreboards: {cycle: units busy} + unit count, in
+        # the same grouping as self._fu_by_class (int ALU, int mul, memory
+        # ports, media units).
+        fu_states = (
+            ({}, cfg.num_int_alu),
+            ({}, cfg.num_int_mul),
+            ({}, cfg.num_mem_ports),
+            ({}, cfg.num_media_fu),
+        )
+        # Issue queues and rename pools as (min-heap of release times,
+        # capacity) pairs — SlotPool semantics, inlined.  Capacities clamp at
+        # zero exactly like SlotPool (zero = unconstrained).
+        queue_states = (
+            ([], max(0, cfg.int_queue_size)),
+            ([], max(0, cfg.mem_queue_size)),
+            ([], max(0, cfg.media_queue_size)),
+        )
+        rename_caps = {
+            RegFile.INT: cfg.phys_int_regs - cfg.arch_int_regs,
+            RegFile.MEDIA: cfg.phys_media_regs - cfg.arch_media_regs,
+            RegFile.MATRIX: cfg.phys_matrix_regs - cfg.arch_matrix_regs,
+            RegFile.ACC: cfg.phys_acc_regs - cfg.arch_acc_regs,
+            RegFile.VL: 8,
+        }
+        rename_heaps = tuple([] for _ in REG_POOL_ORDER)
+        rename_capacities = tuple(max(0, rename_caps[file])
+                                  for file in REG_POOL_ORDER)
+
+        media_acc = OpClass.MEDIA_ACC
+        resolved = []
+        for opclass, vly, non_pipelined in lowered.shapes:
+            occupancy = self._occupancy_of(opclass, vly, non_pipelined)
+            latency = self._completion_latency(opclass, vly, occupancy)
+            if opclass.is_memory:
+                fu_busy, fu_count = fu_states[2]
+                queue_heap, queue_cap = queue_states[1]
+            elif opclass is OpClass.IMUL:
+                fu_busy, fu_count = fu_states[1]
+                queue_heap, queue_cap = queue_states[0]
+            elif opclass.is_media:
+                fu_busy, fu_count = fu_states[3]
+                queue_heap, queue_cap = queue_states[2]
+            else:
+                fu_busy, fu_count = fu_states[0]
+                queue_heap, queue_cap = queue_states[0]
+            acc_forwarding = opclass is media_acc and vly <= 1
+            resolved.append((occupancy, latency, fu_busy, fu_busy.get,
+                             fu_count, queue_heap, queue_cap, acc_forwarding))
+
+        # --- hot-loop locals ---------------------------------------------
+        fetch_width = cfg.fetch_width
+        rob_size = cfg.rob_size
+        commit_width = cfg.commit_width
+        bw_width = cfg.issue_width
+        bw_used: Dict[int, int] = {}
+        bw_get = bw_used.get
+        reg_ready = [0] * lowered.num_regs
+        rename_times: list = []
+        commit_times: list = []
+        rename_append = rename_times.append
+        commit_append = commit_times.append
+        timeline_append = self.timeline.append
+        heappush_ = heappush
+        heappop_ = heappop
+        opcodes = lowered.opcodes
+        opcode_ids = lowered.opcode_ids
+
+        stalls = self._stalls
+        stall_fetch_bw = stalls["fetch_bw"]
+        stall_rob = stalls["rob"]
+        stall_queue = stalls["issue_queue"]
+        stall_rename = stalls["rename_regs"]
+
+        last_commit = 0
+
+        for i, (sid, srcs, dsts) in enumerate(
+                zip(lowered.shape_ids, lowered.srcs, lowered.dsts)):
+            (occupancy, latency, fu_busy, fu_get, fu_count,
+             queue_heap, queue_cap, acc_forwarding) = resolved[sid]
+
+            # ---- rename ------------------------------------------------
+            candidate = rename_times[-1] if rename_times else 0
+            if i >= fetch_width:
+                bw_bound = rename_times[i - fetch_width] + 1
+                if bw_bound > candidate:
+                    stall_fetch_bw += bw_bound - candidate
+                    candidate = bw_bound
+            if i >= rob_size:
+                rob_bound = commit_times[i - rob_size]
+                if rob_bound > candidate:
+                    stall_rob += rob_bound - candidate
+                    candidate = rob_bound
+
+            if queue_cap:
+                while queue_heap and queue_heap[0] <= candidate:
+                    heappop_(queue_heap)
+                if len(queue_heap) >= queue_cap:
+                    # The release loop drained everything <= candidate, so
+                    # the evicted earliest leaver is strictly later.
+                    earliest = heappop_(queue_heap)
+                    stall_queue += earliest - candidate
+                    candidate = earliest
+
+            for _reg, pool_i, _is_acc in dsts:
+                cap = rename_capacities[pool_i]
+                if cap == 0:
+                    continue
+                heap = rename_heaps[pool_i]
+                while heap and heap[0] <= candidate:
+                    heappop_(heap)
+                if len(heap) >= cap:
+                    earliest = heappop_(heap)
+                    stall_rename += earliest - candidate
+                    candidate = earliest
+
+            rename_time = candidate
+            rename_append(rename_time)
+
+            # ---- ready (dataflow) ---------------------------------------
+            ready = rename_time + 1
+            for r in srcs:
+                t = reg_ready[r]
+                if t > ready:
+                    ready = t
+
+            # ---- issue ---------------------------------------------------
+            # A functional unit for the whole occupancy window plus one
+            # issue slot in the start cycle; iterate to a fixed point.
+            start = ready
+            if occupancy == 1:
+                while True:
+                    while fu_get(start, 0) >= fu_count:
+                        start += 1
+                    bw_start = start
+                    while bw_get(bw_start, 0) >= bw_width:
+                        bw_start += 1
+                    if bw_start == start:
+                        issue_time = start
+                        break
+                    start = bw_start
+                fu_busy[issue_time] = fu_get(issue_time, 0) + 1
+            else:
+                while True:
+                    fu_start = start
+                    while True:
+                        conflict = -1
+                        for cycle in range(fu_start, fu_start + occupancy):
+                            if fu_get(cycle, 0) >= fu_count:
+                                conflict = cycle
+                                break
+                        if conflict < 0:
+                            break
+                        fu_start = conflict + 1
+                    bw_start = fu_start
+                    while bw_get(bw_start, 0) >= bw_width:
+                        bw_start += 1
+                    if bw_start == fu_start:
+                        issue_time = fu_start
+                        break
+                    start = bw_start
+                for cycle in range(issue_time, issue_time + occupancy):
+                    fu_busy[cycle] = fu_get(cycle, 0) + 1
+            bw_used[issue_time] = bw_get(issue_time, 0) + 1
+            if queue_cap:
+                heappush_(queue_heap, issue_time)
+
+            # ---- complete ------------------------------------------------
+            complete = issue_time + latency
+            if acc_forwarding:
+                # MDMX-style accumulate: the accumulator feedback path lives
+                # in the final adder stage (see run() for the full story).
+                acc_forward = issue_time + occupancy
+                for reg, _pool_i, is_acc in dsts:
+                    reg_ready[reg] = acc_forward if is_acc else complete
+            else:
+                for reg, _pool_i, _is_acc in dsts:
+                    reg_ready[reg] = complete
+
+            # ---- commit --------------------------------------------------
+            commit = complete + 1
+            if commit_times:
+                prev_commit = commit_times[-1]
+                if prev_commit > commit:
+                    commit = prev_commit
+            if i >= commit_width:
+                cw_bound = commit_times[i - commit_width] + 1
+                if cw_bound > commit:
+                    commit = cw_bound
+            commit_append(commit)
+            last_commit = commit
+
+            for _reg, pool_i, _is_acc in dsts:
+                if rename_capacities[pool_i]:
+                    heappush_(rename_heaps[pool_i], commit)
+
+            if record_timeline:
+                timeline_append((opcodes[opcode_ids[i]], rename_time, ready,
+                                 issue_time, complete, commit))
+
+        stalls["fetch_bw"] = stall_fetch_bw
+        stalls["rob"] = stall_rob
+        stalls["issue_queue"] = stall_queue
+        stalls["rename_regs"] = stall_rename
+
+        return SimResult(
+            cycles=last_commit,
+            instructions=lowered.num_instructions,
+            operations=lowered.total_ops,
+            kernel=lowered.name,
+            isa=lowered.isa,
+            config_name=cfg.name,
+            mem_latency=cfg.mem_latency,
+            issue_width=cfg.issue_width,
+            stall_breakdown=dict(self._stalls),
+        )
+
+
+def simulate_trace(trace: Union[Trace, LoweredTrace],
+                   config: Optional[MachineConfig] = None) -> SimResult:
     """Simulate a trace on a (fresh) out-of-order core.
+
+    The trace is lowered (once — :meth:`Trace.lower` memoises) and executed
+    through the flat-array backend; an already-lowered trace is accepted
+    directly, which is what the sweep engine's batching does to amortise
+    lowering across every configuration sharing a trace.
 
     Parameters
     ----------
     trace:
-        Dynamic instruction trace produced by a kernel builder.
+        Dynamic instruction trace produced by a kernel builder, or its
+        pre-compiled :class:`~repro.timing.lowered.LoweredTrace`.
     config:
         Machine configuration; defaults to the paper's 4-way core with
         1-cycle memory latency.
@@ -361,4 +627,6 @@ def simulate_trace(trace: Trace, config: Optional[MachineConfig] = None) -> SimR
     if config is None:
         config = MachineConfig.for_way(4)
     core = OutOfOrderCore(config)
-    return core.run(trace)
+    if isinstance(trace, LoweredTrace):
+        return core.run_lowered(trace)
+    return core.run_lowered(trace.lower())

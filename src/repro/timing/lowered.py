@@ -1,0 +1,312 @@
+"""Trace lowering: compile a ``Trace`` into flat arrays for fast simulation.
+
+The object-level simulation loop (:meth:`~repro.timing.core.OutOfOrderCore.run`)
+pays, for every dynamic instruction, a series of costs that are *invariant
+across the many machine configurations each trace is simulated under*:
+attribute lookups on :class:`~repro.trace.instruction.DynInstr`, enum hashing
+to find the functional-unit pool and issue queue, and — worst of all —
+hashing frozen-dataclass :class:`~repro.trace.instruction.RegRef` keys into
+the register scoreboard dict.
+
+This module performs that work **once per trace**.  :func:`lower_trace`
+compiles a trace into a :class:`LoweredTrace` of parallel flat arrays:
+
+* a *shape table* of the distinct ``(opclass, vly, non_pipelined)`` triples
+  (per configuration these resolve to occupancy, completion latency,
+  functional-unit pool and issue queue — the resolution happens once per
+  shape inside :meth:`~repro.timing.core.OutOfOrderCore.run_lowered`, not
+  once per instruction);
+* one small-integer shape id per instruction;
+* source operands renumbered to dense integer register ids, so the register
+  scoreboard becomes a plain list indexed by ``int`` instead of a dict keyed
+  by ``RegRef``;
+* destination operands as ``(reg_id, rename_pool_index, is_accumulator)``
+  triples — everything the rename and writeback stages need, pre-resolved;
+* the per-trace operation total (configuration-independent, so the run loop
+  no longer sums it).
+
+:meth:`~repro.trace.container.Trace.lower` memoises the lowered form on the
+trace instance, and the sweep engine's batching simulates every
+configuration sharing a trace off one ``LoweredTrace`` — lowering cost is
+amortised to ~zero per sweep point.  The lowered form also serializes
+(:meth:`LoweredTrace.to_payload` / :meth:`LoweredTrace.from_payload`) so the
+trace cache can store it alongside the trace; :data:`LOWERING_VERSION`
+stamps those payloads and a mismatch simply falls back to re-lowering.
+
+Cycle counts are **bit-identical** to the object loop — the golden snapshot
+suite and the equivalence tests in ``tests/timing/test_lowered.py`` pin that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.isa.opclasses import OpClass, RegFile
+
+__all__ = ["LOWERING_VERSION", "LOWERED_PAYLOAD_FORMAT", "REG_POOL_ORDER",
+           "LoweredTrace", "add_lowering_hook", "remove_lowering_hook",
+           "lower_trace"]
+
+#: Version tag of the lowering pass.  Folded into every lowered payload the
+#: trace cache stores; a reader that finds a different version ignores the
+#: payload and re-lowers from the trace (never a correctness problem).  Bump
+#: whenever the lowered representation or its payload encoding changes.
+LOWERING_VERSION = "1"
+
+#: Version of the serialized lowered-payload layout (mirrors
+#: ``TRACE_PAYLOAD_FORMAT``; readers treat an unknown format as absent).
+LOWERED_PAYLOAD_FORMAT = 1
+
+#: Fixed order in which :meth:`OutOfOrderCore.run_lowered` materialises the
+#: rename slot pools; a lowered destination's ``pool`` field is an index into
+#: this tuple.
+REG_POOL_ORDER: Tuple[RegFile, ...] = (RegFile.INT, RegFile.MEDIA,
+                                       RegFile.MATRIX, RegFile.ACC,
+                                       RegFile.VL)
+
+_POOL_INDEX = {file: i for i, file in enumerate(REG_POOL_ORDER)}
+
+#: Observers called as ``hook(trace_name, isa, num_instructions)`` every time
+#: a trace is actually *lowered* (not served from a memo or a cached
+#: payload).  The sweep benchmarks register a counter here to assert that
+#: lowering is amortised: one lowering per distinct trace per sweep.
+_LOWERING_HOOKS: List[Callable[[str, str, int], None]] = []
+
+
+def add_lowering_hook(hook: Callable[[str, str, int], None]
+                      ) -> Callable[[str, str, int], None]:
+    """Register an observer for lowering passes; returns ``hook``."""
+    _LOWERING_HOOKS.append(hook)
+    return hook
+
+
+def remove_lowering_hook(hook: Callable[[str, str, int], None]) -> None:
+    """Unregister a previously added lowering hook (no-op if absent)."""
+    try:
+        _LOWERING_HOOKS.remove(hook)
+    except ValueError:
+        pass
+
+
+class LoweredTrace:
+    """The flat-array compilation of one :class:`~repro.trace.container.Trace`.
+
+    All per-instruction sequences are parallel (index ``i`` describes dynamic
+    instruction ``i``); everything configuration-dependent is deferred to the
+    shape table, which :meth:`~repro.timing.core.OutOfOrderCore.run_lowered`
+    resolves once per simulation.
+    """
+
+    __slots__ = ("name", "isa", "num_instructions", "total_ops", "num_regs",
+                 "shapes", "shape_ids", "srcs", "dsts", "opcodes",
+                 "opcode_ids")
+
+    def __init__(self, name: str, isa: str, num_instructions: int,
+                 total_ops: int, num_regs: int,
+                 shapes: List[Tuple[OpClass, int, bool]],
+                 shape_ids: List[int],
+                 srcs: List[Tuple[int, ...]],
+                 dsts: List[Tuple[Tuple[int, int, bool], ...]],
+                 opcodes: List[str],
+                 opcode_ids: List[int]) -> None:
+        self.name = name
+        self.isa = isa
+        self.num_instructions = num_instructions
+        self.total_ops = total_ops
+        self.num_regs = num_regs
+        #: Distinct ``(opclass, vly, non_pipelined)`` triples.
+        self.shapes = shapes
+        #: Per instruction: index into :attr:`shapes`.
+        self.shape_ids = shape_ids
+        #: Per instruction: dense source register ids.
+        self.srcs = srcs
+        #: Per instruction: ``(reg_id, pool_index, is_accumulator)`` per dst.
+        self.dsts = dsts
+        #: Interned opcode mnemonics (timeline recording only).
+        self.opcodes = opcodes
+        #: Per instruction: index into :attr:`opcodes`.
+        self.opcode_ids = opcode_ids
+
+    def __len__(self) -> int:
+        return self.num_instructions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LoweredTrace(name={self.name!r}, isa={self.isa!r}, "
+                f"n={self.num_instructions}, shapes={len(self.shapes)}, "
+                f"regs={self.num_regs})")
+
+    # ------------------------------------------------------------------
+    # compact (de)serialization
+    # ------------------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Serialize to a compact JSON-able dict.
+
+        Like :meth:`Trace.to_payload`, whole per-instruction rows
+        ``(shape_id, srcs, dsts, opcode_id)`` are deduplicated into a pool —
+        kernels are loops, so the dynamic sequence reuses a few hundred
+        distinct rows.  Destination triples flatten to
+        ``[reg, pool, is_acc, ...]`` integer runs.
+        """
+        pool: Dict[tuple, int] = {}
+        sequence: List[int] = []
+        for row in zip(self.shape_ids, self.srcs, self.dsts, self.opcode_ids):
+            index = pool.setdefault(row, len(pool))
+            sequence.append(index)
+        return {
+            "format": LOWERED_PAYLOAD_FORMAT,
+            "lowering_version": LOWERING_VERSION,
+            "name": self.name,
+            "isa": self.isa,
+            "num_instructions": self.num_instructions,
+            "total_ops": self.total_ops,
+            "num_regs": self.num_regs,
+            "shapes": [[opclass.value, vly, int(non_pipelined)]
+                       for opclass, vly, non_pipelined in self.shapes],
+            "opcodes": list(self.opcodes),
+            "pool": [
+                [sid, list(srcs),
+                 [x for reg, pi, acc in dsts for x in (reg, pi, int(acc))],
+                 oid]
+                for sid, srcs, dsts, oid in pool
+            ],
+            "instrs": sequence,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "LoweredTrace":
+        """Reconstruct a lowered trace from :meth:`to_payload` output.
+
+        Raises ``ValueError`` on an unknown payload format, a lowering
+        version other than the live :data:`LOWERING_VERSION`, or any
+        internal inconsistency (instruction count vs row sequence, out-of-
+        range shape/register/pool/opcode ids) — the timing backend trusts a
+        revived lowering completely, so a corrupt-but-parseable payload
+        must be rejected here rather than silently simulate wrong numbers.
+        Callers (the trace cache) treat all of that, along with
+        ``KeyError``/``IndexError``/``TypeError`` from malformed rows, as
+        "no lowered payload" and re-lower from the trace.
+        """
+        if payload.get("format") != LOWERED_PAYLOAD_FORMAT:
+            raise ValueError(
+                f"unknown lowered payload format {payload.get('format')!r}")
+        if payload.get("lowering_version") != LOWERING_VERSION:
+            raise ValueError(
+                f"lowered payload version {payload.get('lowering_version')!r} "
+                f"!= live lowering version {LOWERING_VERSION!r}")
+        shapes = [(OpClass(value), vly, bool(non_pipelined))
+                  for value, vly, non_pipelined in payload["shapes"]]
+        num_regs = payload["num_regs"]
+        num_opcodes = len(payload["opcodes"])
+        num_pools = len(REG_POOL_ORDER)
+        shape_ids: List[int] = []
+        srcs: List[Tuple[int, ...]] = []
+        dsts: List[Tuple[Tuple[int, int, bool], ...]] = []
+        opcode_ids: List[int] = []
+        pool = []
+        for sid, row_srcs, flat_dsts, oid in payload["pool"]:
+            row_dsts = tuple(
+                (flat_dsts[j], flat_dsts[j + 1], bool(flat_dsts[j + 2]))
+                for j in range(0, len(flat_dsts), 3))
+            if not (0 <= sid < len(shapes) and 0 <= oid < num_opcodes):
+                raise ValueError("lowered payload row references an unknown "
+                                 "shape or opcode")
+            if (len(flat_dsts) % 3 != 0
+                    or any(not 0 <= r < num_regs for r in row_srcs)
+                    or any(not (0 <= reg < num_regs and 0 <= pi < num_pools)
+                           for reg, pi, _acc in row_dsts)):
+                raise ValueError("lowered payload row has out-of-range "
+                                 "register or pool ids")
+            pool.append((sid, tuple(row_srcs), row_dsts, oid))
+        for index in payload["instrs"]:
+            sid, row_srcs, row_dsts, oid = pool[index]
+            shape_ids.append(sid)
+            srcs.append(row_srcs)
+            dsts.append(row_dsts)
+            opcode_ids.append(oid)
+        if len(shape_ids) != payload["num_instructions"]:
+            raise ValueError(
+                f"lowered payload claims {payload['num_instructions']} "
+                f"instructions but encodes {len(shape_ids)}")
+        return cls(
+            name=payload["name"],
+            isa=payload["isa"],
+            num_instructions=payload["num_instructions"],
+            total_ops=payload["total_ops"],
+            num_regs=payload["num_regs"],
+            shapes=shapes,
+            shape_ids=shape_ids,
+            srcs=srcs,
+            dsts=dsts,
+            opcodes=list(payload["opcodes"]),
+            opcode_ids=opcode_ids,
+        )
+
+
+def lower_trace(trace) -> LoweredTrace:
+    """Compile ``trace`` into a :class:`LoweredTrace`.
+
+    Pure function of the trace: register ids are assigned densely in first-
+    use order, shapes and opcodes are interned in first-use order, so
+    lowering the same trace twice yields structurally identical results.
+    Prefer :meth:`Trace.lower`, which memoises the result on the trace.
+    """
+    reg_ids: Dict[Any, int] = {}
+    shape_table: Dict[Tuple[OpClass, int, bool], int] = {}
+    opcode_table: Dict[str, int] = {}
+    shapes: List[Tuple[OpClass, int, bool]] = []
+    opcodes: List[str] = []
+    shape_ids: List[int] = []
+    srcs_rows: List[Tuple[int, ...]] = []
+    dsts_rows: List[Tuple[Tuple[int, int, bool], ...]] = []
+    opcode_ids: List[int] = []
+    total_ops = 0
+    acc_file = RegFile.ACC
+
+    for instr in trace:
+        total_ops += instr.ops
+        shape = (instr.opclass, instr.vly, instr.non_pipelined)
+        sid = shape_table.get(shape)
+        if sid is None:
+            sid = shape_table[shape] = len(shapes)
+            shapes.append(shape)
+        shape_ids.append(sid)
+
+        src_row = []
+        for ref in instr.srcs:
+            rid = reg_ids.get(ref)
+            if rid is None:
+                rid = reg_ids[ref] = len(reg_ids)
+            src_row.append(rid)
+        srcs_rows.append(tuple(src_row))
+
+        dst_row = []
+        for ref in instr.dsts:
+            rid = reg_ids.get(ref)
+            if rid is None:
+                rid = reg_ids[ref] = len(reg_ids)
+            dst_row.append((rid, _POOL_INDEX[ref.file], ref.file is acc_file))
+        dsts_rows.append(tuple(dst_row))
+
+        oid = opcode_table.get(instr.opcode)
+        if oid is None:
+            oid = opcode_table[instr.opcode] = len(opcodes)
+            opcodes.append(instr.opcode)
+        opcode_ids.append(oid)
+
+    lowered = LoweredTrace(
+        name=trace.name,
+        isa=trace.isa,
+        num_instructions=len(shape_ids),
+        total_ops=total_ops,
+        num_regs=len(reg_ids),
+        shapes=shapes,
+        shape_ids=shape_ids,
+        srcs=srcs_rows,
+        dsts=dsts_rows,
+        opcodes=opcodes,
+        opcode_ids=opcode_ids,
+    )
+    for hook in _LOWERING_HOOKS:
+        hook(lowered.name, lowered.isa, lowered.num_instructions)
+    return lowered

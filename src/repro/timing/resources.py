@@ -10,6 +10,13 @@ Three small trackers capture every structural constraint the model applies:
 * :class:`SlotPool` — a pool of slots held by in-flight instructions
   (issue-queue entries, rename head-room of a physical register file); a
   slot is freed when its holder reaches a known future time.
+
+These classes are the *reference* implementations, used by the object-level
+``OutOfOrderCore.run()`` loop.  The lowered backend
+(:meth:`~repro.timing.core.OutOfOrderCore.run_lowered`) inlines the same
+semantics as raw dicts/heaps local to its hot loop — any behavioural change
+here must be mirrored there, and is pinned by the golden snapshots plus the
+equivalence suite in ``tests/timing/test_lowered.py``.
 """
 
 from __future__ import annotations

@@ -38,12 +38,17 @@ class Trace:
         self.name = name
         self.isa = isa
         self._instrs: List[DynInstr] = []
+        # Memoised flat-array compilation (see lower()); invalidated by any
+        # mutation so a stale lowering can never be simulated.
+        self._lowered = None
 
     def append(self, instr: DynInstr) -> None:
         self._instrs.append(instr)
+        self._lowered = None
 
     def extend(self, instrs: Iterable[DynInstr]) -> None:
         self._instrs.extend(instrs)
+        self._lowered = None
 
     def __len__(self) -> int:
         return len(self._instrs)
@@ -60,6 +65,39 @@ class Trace:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Trace(name={self.name!r}, isa={self.isa!r}, n={len(self)})"
+
+    # ------------------------------------------------------------------
+    # lowering
+    # ------------------------------------------------------------------
+
+    def lower(self):
+        """The trace compiled to flat arrays for the fast timing backend.
+
+        Returns the :class:`~repro.timing.lowered.LoweredTrace` of this
+        trace, computing it on first call and memoising it afterwards (the
+        sweep engine simulates every machine configuration sharing a trace
+        off one lowering).  Mutating the trace (:meth:`append` /
+        :meth:`extend`) invalidates the memo.
+        """
+        if self._lowered is None:
+            # Imported here: the timing package imports this module.
+            from repro.timing.lowered import lower_trace
+
+            self._lowered = lower_trace(self)
+        return self._lowered
+
+    def attach_lowered(self, lowered) -> None:
+        """Pre-seed the lowering memo (trace-cache deserialization path).
+
+        The caller asserts that ``lowered`` is the compilation of exactly
+        this instruction sequence; a length mismatch is rejected as the
+        cheap sanity check.
+        """
+        if lowered.num_instructions != len(self._instrs):
+            raise ValueError(
+                f"lowered trace has {lowered.num_instructions} instructions, "
+                f"trace has {len(self._instrs)}")
+        self._lowered = lowered
 
     # ------------------------------------------------------------------
     # compact (de)serialization

@@ -209,6 +209,125 @@ class TestCache:
         assert results[0].sim.cycles > 0
 
 
+class TestTraceBatching:
+    """Points sharing a trace are simulated off one build and one lowering —
+    the warm-up guarantee: each distinct trace is built exactly once per
+    sweep, in any execution mode."""
+
+    def _multi_config_sweep(self):
+        return SweepSpec.make(
+            kernels=_KERNELS,
+            configs=[MachineConfig.for_way(w) for w in (1, 2, 4)],
+            spec=_SPEC,
+        )
+
+    @pytest.fixture
+    def build_counter(self):
+        from repro.kernels.base import add_build_hook, remove_build_hook
+
+        counts = []
+        hook = add_build_hook(lambda kernel, isa: counts.append((kernel, isa)))
+        yield counts
+        remove_build_hook(hook)
+
+    @pytest.fixture
+    def lowering_counter(self):
+        from repro.timing.lowered import (add_lowering_hook,
+                                          remove_lowering_hook)
+
+        counts = []
+        hook = add_lowering_hook(lambda name, isa, n: counts.append((name, isa)))
+        yield counts
+        remove_lowering_hook(hook)
+
+    def test_serial_sweep_builds_each_trace_once(self, build_counter,
+                                                 lowering_counter):
+        sweep = self._multi_config_sweep()
+        distinct_traces = len(_KERNELS) * 4  # kernels x ISAs
+        engine = SweepEngine(jobs=1)
+        results = engine.run(sweep)
+        assert len(results) == distinct_traces * 3
+        assert len(build_counter) == distinct_traces
+        assert sorted(build_counter) == sorted(set(build_counter))
+        # one lowering per distinct trace, not per point
+        assert len(lowering_counter) == distinct_traces
+        assert engine.last_trace_builds == distinct_traces
+
+    def test_cold_parallel_sweep_builds_each_trace_once(self, tmp_path):
+        """Under a pool each trace group is one task, so even a completely
+        cold cache sees exactly one build (= one on-disk entry write) per
+        distinct trace — no duplicate concurrent builds."""
+        sweep = self._multi_config_sweep()
+        distinct_traces = len(_KERNELS) * 4
+        engine = SweepEngine(jobs=4, cache_dir=str(tmp_path))
+        results = engine.run(sweep)
+        assert len(results) == distinct_traces * 3
+        assert engine.last_trace_builds == distinct_traces
+        # and the batched results are bit-identical to unbatched direct runs
+        direct = [run_kernel(r.point.kernel, r.point.isa,
+                             config=r.point.config, spec=r.point.spec).sim
+                  for r in results]
+        assert [r.sim for r in results] == direct
+
+    def test_batched_results_match_direct_runs(self):
+        sweep = self._multi_config_sweep()
+        results = SweepEngine(jobs=1).run(sweep)
+        for r in results:
+            direct = run_kernel(r.point.kernel, r.point.isa,
+                                config=r.point.config, spec=r.point.spec)
+            assert r.sim == direct.sim
+            assert r.stats == direct.stats
+
+    def test_unchecked_batched_results_stay_unchecked(self):
+        engine = SweepEngine(jobs=1, check=False)
+        results = engine.run(self._multi_config_sweep())
+        assert all(not r.checked for r in results)
+
+    def test_keep_builds_still_publishes_verified_traces(self, tmp_path):
+        """keep_builds bypasses cache *reads* but a checked build's trace
+        is still written for later sweeps to hit."""
+        point = SweepPoint("comp", "mom", MachineConfig.for_way(4), _SPEC)
+        engine = SweepEngine(cache_dir=str(tmp_path))
+        engine.run([point], keep_builds=True)
+        assert engine.trace_cache.get(point) is not None
+
+        warm_miss = SweepEngine(cache_dir=str(tmp_path))
+        results = warm_miss.run(
+            [SweepPoint("comp", "mom", MachineConfig.for_way(2), _SPEC)])
+        assert warm_miss.last_trace_builds == 0
+        assert results[0].trace_cached
+
+    def test_warm_groups_split_to_fill_the_pool(self, tmp_path):
+        """A config-heavy sweep over few distinct traces must not collapse
+        to one pool task per trace once the trace cache is warm."""
+        configs = [MachineConfig.for_way(4, mem_latency=lat)
+                   for lat in (1, 2, 3, 5, 8, 12, 20, 50)]
+        sweep = SweepSpec.make(kernels=["comp"], isas=("mom",),
+                               configs=configs, spec=_SPEC)
+        SweepEngine(cache_dir=str(tmp_path)).run(sweep)  # warm the traces
+
+        engine = SweepEngine(jobs=4, cache_dir=str(tmp_path), version="v2")
+        results = engine.run(sweep)
+        if engine.last_fallback_reason is None:
+            assert engine.last_pool_tasks == 4, (
+                "one 8-point warm group should split into jobs-many tasks")
+        assert engine.last_trace_builds == 0
+        baseline = SweepEngine(version="v3").run(sweep)
+        assert [r.sim for r in results] == [r.sim for r in baseline]
+
+    def test_cold_groups_are_never_split(self, tmp_path):
+        """An uncached group stays one task — splitting it would duplicate
+        the front-end build."""
+        configs = [MachineConfig.for_way(w) for w in (1, 2, 4, 8)]
+        sweep = SweepSpec.make(kernels=["comp"], isas=("mom",),
+                               configs=configs, spec=_SPEC)
+        engine = SweepEngine(jobs=4, cache_dir=str(tmp_path))
+        engine.run(sweep)
+        if engine.last_fallback_reason is None:
+            assert engine.last_pool_tasks == 1
+        assert engine.last_trace_builds == 1
+
+
 class TestFigure4ThroughEngine:
     """Acceptance: the Figure 4 sweep via the engine with jobs=4 matches the
     golden (seed sequential) cycle counts, and a warm re-run simulates

@@ -52,6 +52,27 @@ class TestStats:
         assert stats.oldest_mtime is not None
         assert stats.newest_mtime >= stats.oldest_mtime
 
+    def test_counts_lowered_payloads(self, tmp_path):
+        """Engine-written trace entries all carry a live lowered payload;
+        a version-stale payload is classified separately."""
+        import json
+
+        points = _populate(str(tmp_path))
+        stats = cache_stats(str(tmp_path))
+        assert stats.lowered_entries == points
+        assert stats.stale_lowered_entries == 0
+
+        entry = next(e for e in iter_cache_entries(str(tmp_path))
+                     if e.section == "traces")
+        with open(entry.path) as f:
+            data = json.load(f)
+        data["lowered"]["lowering_version"] = "not-the-live-version"
+        with open(entry.path, "w") as f:
+            json.dump(data, f)
+        stats = cache_stats(str(tmp_path))
+        assert stats.lowered_entries == points - 1
+        assert stats.stale_lowered_entries == 1
+
 
 class TestGC:
     def test_noop_without_bounds(self, tmp_path):
@@ -94,6 +115,67 @@ class TestGC:
         survivors = {e.path for e in iter_cache_entries(str(tmp_path))}
         assert survivors == {e.path for e in entries} - {e.path for e in old}
 
+    def test_size_bound_is_lru_not_write_order(self, tmp_path):
+        """Reading an entry protects it: touch-on-read makes eviction LRU."""
+        from repro.sweep import ResultCache, SweepPoint
+
+        _populate(str(tmp_path))
+        entries = sorted(iter_cache_entries(str(tmp_path)),
+                         key=lambda e: e.mtime)
+        # Age everything into the past, then *read* one result entry
+        # through the cache API — its mtime jumps to "now".
+        now = time.time()
+        for k, entry in enumerate(entries):
+            os.utime(entry.path, (now - 9999 - k, now - 9999 - k))
+        cache = ResultCache(str(tmp_path))
+        point = SweepPoint("comp", "scalar", MachineConfig.for_way(4), _SPEC)
+        assert cache.get(point) is not None
+        read_path = os.path.join(str(tmp_path), cache.key_for(point)[:2],
+                                 cache.key_for(point) + ".json")
+
+        # Evict down to a size only a few entries fit into: the read entry
+        # is the most recently used and must survive.
+        keep_bytes = os.path.getsize(read_path) + 1
+        gc_cache(str(tmp_path), max_bytes=keep_bytes)
+        assert os.path.exists(read_path), "recently read entry was evicted"
+
+    def test_trace_reads_touch_entries_too(self, tmp_path):
+        from repro.sweep import SweepPoint, TraceCache
+
+        _populate(str(tmp_path))
+        cache = TraceCache(os.path.join(str(tmp_path), "traces"))
+        point = SweepPoint("comp", "mom", MachineConfig.for_way(4), _SPEC)
+        path = cache.path_for(point)
+        past = time.time() - 9999
+        os.utime(path, (past, past))
+        assert cache.get(point) is not None
+        assert os.stat(path).st_mtime > past + 9000
+
+    def test_keep_traces_protects_the_trace_section(self, tmp_path):
+        _populate(str(tmp_path))
+        before = cache_stats(str(tmp_path))
+        report = gc_cache(str(tmp_path), max_bytes=0, keep=("traces",))
+        after = cache_stats(str(tmp_path))
+        assert after.entries["traces"] == before.entries["traces"]
+        assert after.entries["results"] == 0
+        assert report.kept == before.entries["traces"]
+
+    def test_keep_results_with_age_bound(self, tmp_path):
+        _populate(str(tmp_path))
+        now = time.time()
+        for entry in iter_cache_entries(str(tmp_path)):
+            os.utime(entry.path, (now - 10 * 86400, now - 10 * 86400))
+        before = cache_stats(str(tmp_path))
+        gc_cache(str(tmp_path), max_age_seconds=86400, now=now,
+                 keep=("results",))
+        after = cache_stats(str(tmp_path))
+        assert after.entries["results"] == before.entries["results"]
+        assert after.entries["traces"] == 0
+
+    def test_unknown_keep_section_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            gc_cache(str(tmp_path), max_bytes=0, keep=("nonsense",))
+
     def test_engine_recovers_after_gc(self, tmp_path):
         """A GC'd cache is a cold cache, never a broken one."""
         sweep = SweepSpec.make(kernels=["comp"],
@@ -121,7 +203,17 @@ class TestCacheCLI:
         out = capsys.readouterr().out
         assert f"results  {points:6d} entries" in out
         assert f"traces   {points:6d} entries" in out
-        assert "oldest entry" in out
+        assert f"lowered payloads: {points} current" in out
+        assert "least recently used entry" in out
+
+    def test_gc_command_keep_traces(self, tmp_path, capsys):
+        _populate(str(tmp_path))
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path),
+                     "--max-mb", "0", "--keep-traces"]) == 0
+        capsys.readouterr()
+        stats = cache_stats(str(tmp_path))
+        assert stats.entries["results"] == 0
+        assert stats.entries["traces"] > 0
 
     def test_gc_command_size_limit(self, tmp_path, capsys):
         _populate(str(tmp_path))

@@ -23,6 +23,7 @@ from repro.sweep import (
     trace_key,
 )
 from repro.timing.config import MachineConfig
+from repro.timing.core import simulate_trace
 from repro.workloads.generators import WorkloadSpec
 
 _SPEC = WorkloadSpec(scale=1, seed=7)
@@ -126,6 +127,110 @@ class TestTraceCache:
             entry = json.load(f)
         assert entry["builder_version"] == BUILDER_VERSION
         assert entry["kernel"] == "comp" and entry["isa"] == "mom"
+
+
+class TestLoweredPayloadInCache:
+    """Entries embed the flat-array lowering; a hit revives it for free."""
+
+    @pytest.fixture
+    def lowering_counter(self):
+        from repro.timing.lowered import (add_lowering_hook,
+                                          remove_lowering_hook)
+
+        counts = []
+        hook = add_lowering_hook(lambda name, isa, n: counts.append((name, isa)))
+        yield counts
+        remove_lowering_hook(hook)
+
+    def test_entry_embeds_live_lowered_payload(self, tmp_path):
+        from repro.timing.lowered import LOWERING_VERSION
+
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        with open(cache.path_for(point)) as f:
+            entry = json.load(f)
+        assert entry["lowered"]["lowering_version"] == LOWERING_VERSION
+        assert entry["lowered"]["num_instructions"] == len(entry["trace"]["instrs"])
+
+    def test_hit_revives_the_lowering_without_relowering(self, tmp_path,
+                                                         lowering_counter):
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+
+        lowering_counter.clear()
+        trace = cache.get(point)
+        lowered = trace.lower()
+        assert lowering_counter == [], "cache hit must not re-lower"
+        assert lowered.num_instructions == len(trace)
+
+    def test_stale_lowering_version_falls_back_to_relowering(self, tmp_path,
+                                                             lowering_counter):
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        path = cache.path_for(point)
+        with open(path) as f:
+            entry = json.load(f)
+        entry["lowered"]["lowering_version"] = "not-the-live-version"
+        with open(path, "w") as f:
+            json.dump(entry, f)
+
+        lowering_counter.clear()
+        trace = cache.get(point)
+        assert trace is not None, "stale lowering must not evict the trace"
+        trace.lower()
+        assert lowering_counter == [("comp", "mom")]
+
+    def test_corrupt_lowered_payload_is_ignored(self, tmp_path):
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        path = cache.path_for(point)
+        with open(path) as f:
+            entry = json.load(f)
+        entry["lowered"]["pool"] = "garbage"
+        with open(path, "w") as f:
+            json.dump(entry, f)
+
+        trace = cache.get(point)
+        assert trace is not None
+        assert (simulate_trace(trace, _CFG)
+                == simulate_trace(_build_trace(), _CFG))
+
+    def test_truncated_lowered_payload_never_simulates_short(self, tmp_path):
+        """Bitrot that truncates the lowered row sequence while keeping the
+        claimed instruction count (still valid JSON) must fall back to
+        re-lowering the trace — never simulate half the instructions."""
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        path = cache.path_for(point)
+        with open(path) as f:
+            entry = json.load(f)
+        instrs = entry["lowered"]["instrs"]
+        entry["lowered"]["instrs"] = instrs[: len(instrs) // 2]
+        with open(path, "w") as f:
+            json.dump(entry, f)
+
+        trace = cache.get(point)
+        assert trace is not None
+        assert (simulate_trace(trace, _CFG)
+                == simulate_trace(_build_trace(), _CFG))
+
+    def test_missing_lowered_key_is_tolerated(self, tmp_path):
+        """Entries written before the lowering backend still hit."""
+        cache = TraceCache(str(tmp_path))
+        point = SweepPoint("comp", "mom", _CFG, _SPEC)
+        cache.put(point, _build_trace())
+        path = cache.path_for(point)
+        with open(path) as f:
+            entry = json.load(f)
+        del entry["lowered"]
+        with open(path, "w") as f:
+            json.dump(entry, f)
+        assert cache.get(point) is not None
 
 
 class TestEngineIntegration:
