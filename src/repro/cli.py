@@ -14,9 +14,14 @@ The CLI exposes the experiment drivers without writing any Python:
 
 Every sweep-backed command accepts ``--jobs N`` (process-parallel
 execution), ``--cache-dir DIR`` (on-disk result + trace caches; warm
-re-runs do zero simulations, warm *misses* do zero trace builds) and
-``--stream-jsonl PATH`` (append one JSON line per point as it completes).
-A live ``done/total`` progress line is written to stderr when it is a TTY.
+re-runs do zero simulations, warm *misses* do zero trace builds),
+``--stream-jsonl PATH`` (append one JSON line per point as it completes,
+including the sweep's cumulative simulated instructions/second) and
+``--backend {auto,object,lowered,vector}`` (timing backend for the group
+simulations; identical numbers, different wall time).  A live
+``done/total`` progress line with the simulated instr/s rate is written
+to stderr when it is a TTY, and ``repro cache stats --json`` emits the
+cache statistics as one JSON object for scripting.
 """
 
 from __future__ import annotations
@@ -43,6 +48,7 @@ from repro.kernels.registry import KERNELS, kernel_names
 from repro.sweep import (PointResult, SweepEngine, SweepPoint, cache_stats,
                          clear_cache, gc_cache, resolve_spec)
 from repro.timing.config import MachineConfig
+from repro.timing.dispatch import BACKENDS
 from repro.workloads.generators import WorkloadSpec
 
 __all__ = ["add_sweep_arguments", "build_parser", "engine_from_args",
@@ -69,6 +75,12 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--stream-jsonl", default=None, metavar="PATH",
                         help="append one JSON line per sweep point to PATH "
                              "as results complete")
+    parser.add_argument("--backend", default="auto", choices=list(BACKENDS),
+                        help="timing backend for group simulations "
+                             "(default auto: the NumPy vector batch "
+                             "backend for large config groups, the "
+                             "lowered interpreter otherwise; results are "
+                             "identical across backends)")
 
 
 def add_sweep_arguments(parser: argparse.ArgumentParser,
@@ -83,8 +95,10 @@ def add_sweep_arguments(parser: argparse.ArgumentParser,
 
 
 def engine_from_args(args: argparse.Namespace) -> SweepEngine:
-    """Build a :class:`SweepEngine` from parsed ``--jobs``/``--cache-dir``."""
-    return SweepEngine(jobs=args.jobs, cache_dir=args.cache_dir)
+    """Build a :class:`SweepEngine` from parsed ``--jobs``/``--cache-dir``
+    (plus ``--backend`` where the command defines it)."""
+    return SweepEngine(jobs=args.jobs, cache_dir=args.cache_dir,
+                       backend=getattr(args, "backend", "auto"))
 
 
 def engine_summary(engine: SweepEngine) -> str:
@@ -101,24 +115,44 @@ def engine_summary(engine: SweepEngine) -> str:
 
 
 class _ProgressLine:
-    """Live ``done/total`` progress on stderr (TTY only, ``\\r``-updated)."""
+    """Live ``done/total`` progress on stderr (TTY only, ``\\r``-updated).
+
+    Tracks the cumulative *simulated* instruction count (cache hits
+    simulate nothing) and shows the resulting instructions/second — the
+    number the backend choice moves, so ``--backend`` A/B runs can be read
+    straight off the progress line.
+    """
 
     def __init__(self, total: int, enabled: Optional[bool] = None) -> None:
         self.total = total
         self.done = 0
         self.cached = 0
+        self.sim_instructions = 0
         self.started = time.time()
         self.enabled = (sys.stderr.isatty() if enabled is None else enabled)
 
+    @property
+    def instr_per_sec(self) -> int:
+        """Simulated instructions per wall-clock second so far."""
+        elapsed = time.time() - self.started
+        if elapsed <= 0 or not self.sim_instructions:
+            return 0
+        return round(self.sim_instructions / elapsed)
+
     def update(self, result: PointResult) -> None:
         self.done += 1
-        self.cached += 1 if result.cached else 0
+        if result.cached:
+            self.cached += 1
+        else:
+            self.sim_instructions += result.sim.instructions
         if not self.enabled:
             return
         elapsed = time.time() - self.started
+        rate = (f", {self.instr_per_sec / 1e6:.2f}M instr/s"
+                if self.sim_instructions else "")
         sys.stderr.write(
             f"\r[sweep] {self.done}/{self.total} point(s) done "
-            f"({self.cached} cached, {elapsed:.1f}s) "
+            f"({self.cached} cached, {elapsed:.1f}s{rate}) "
             f"last: {result.kernel}/{result.isa}\x1b[K")
         sys.stderr.flush()
 
@@ -155,6 +189,10 @@ def make_on_result(args: argparse.Namespace, total: int):
                 "ipc": result.sim.ipc,
                 "cached": result.cached,
                 "trace_cached": result.trace_cached,
+                # Cumulative simulated-instruction throughput of the sweep
+                # at the moment this point completed (0 while everything
+                # is still coming from the result cache).
+                "sim_instr_per_sec": progress.instr_per_sec,
             }, sort_keys=True) + "\n")
             stream.flush()
 
@@ -225,6 +263,10 @@ def build_parser() -> argparse.ArgumentParser:
         sub_p = cache_sub.add_parser(name, help=help_text)
         sub_p.add_argument("--cache-dir", required=True,
                            help="cache root (as passed to the sweep commands)")
+        if name == "stats":
+            sub_p.add_argument("--json", action="store_true",
+                               help="emit the stats as one JSON object on "
+                                    "stdout (for scripting)")
         if name == "gc":
             sub_p.add_argument("--max-mb", type=float, default=None,
                                help="keep the cache at or under this many "
@@ -380,6 +422,9 @@ def _format_bytes(n: int) -> str:
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "stats":
         stats = cache_stats(args.cache_dir)
+        if args.json:
+            print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+            return 0
         print(f"cache root: {stats.cache_dir}")
         for section in ("results", "traces"):
             print(f"  {section:8s} {stats.entries[section]:6d} entr"

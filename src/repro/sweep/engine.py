@@ -183,23 +183,28 @@ def _acquire_trace(point: SweepPoint, check: bool,
 
 def _simulate_group(points: Sequence[SweepPoint], check: bool,
                     trace_cache: Optional[TraceCache],
-                    ) -> Tuple[List[Tuple[SimResult, TraceStats, bool]], int]:
+                    backend: str = "auto",
+                    ) -> Tuple[List[Tuple[SimResult, TraceStats, bool]],
+                               int, Tuple[int, str]]:
     """Run one trace-sharing group of resolved points in this process.
 
-    The trace is acquired once and lowered once; every configuration in the
-    group is simulated off the shared flat arrays.  Returns the per-point
-    ``(sim, stats, trace_cached)`` rows plus how many front-end builds ran
-    (0 or 1).
+    The trace is acquired once and lowered once; every configuration in
+    the group is simulated off the shared flat arrays through the timing
+    package's batch dispatch (``backend`` selects object/lowered/vector;
+    ``auto`` picks the vector array program for large groups).  Returns
+    the per-point ``(sim, stats, trace_cached)`` rows, how many front-end
+    builds ran (0 or 1), and the group's ``(size, executed backend)``.
     """
-    from repro.timing.core import OutOfOrderCore
+    from repro.timing.dispatch import resolve_execution, simulate_batch
     from repro.trace.stats import summarize_trace
 
     trace, from_cache = _acquire_trace(points[0], check, trace_cache)
     stats = summarize_trace(trace)
-    lowered = trace.lower()
-    rows = [(OutOfOrderCore(p.config).run_lowered(lowered), stats, from_cache)
-            for p in points]
-    return rows, 0 if from_cache else 1
+    sims = simulate_batch(trace, [p.config for p in points], backend=backend)
+    rows = [(sim, stats, from_cache) for sim in sims]
+    execution = (len(points),
+                 resolve_execution(backend, len(points), len(trace)))
+    return rows, 0 if from_cache else 1, execution
 
 
 def _simulate_point_with_build(point: SweepPoint, check: bool,
@@ -217,17 +222,20 @@ def _simulate_point_with_build(point: SweepPoint, check: bool,
     return run.sim, run.stats, run.build
 
 
-def _pool_worker(args: Tuple[Tuple[SweepPoint, ...], bool, Optional[str]]
-                 ) -> Tuple[List[Tuple[SimResult, TraceStats, bool]], int]:
+def _pool_worker(args: Tuple[Tuple[SweepPoint, ...], bool, Optional[str],
+                             str]
+                 ) -> Tuple[List[Tuple[SimResult, TraceStats, bool]], int,
+                            Tuple[int, str]]:
     """Top-level (picklable) worker for the process pool: one trace group.
 
     The functional build and the lowered trace stay in the worker — only
     the compact result rows (and whether the trace came from the shared
-    on-disk cache, plus the build count) travel back to the parent.
+    on-disk cache, plus the build count and backend execution record)
+    travel back to the parent.
     """
-    points, check, trace_dir = args
+    points, check, trace_dir, backend = args
     trace_cache = TraceCache(trace_dir) if trace_dir else None
-    return _simulate_group(points, check, trace_cache)
+    return _simulate_group(points, check, trace_cache, backend)
 
 
 class SweepEngine:
@@ -255,11 +263,25 @@ class SweepEngine:
         ``<cache_dir>/traces`` when ``cache_dir`` is set, a string selects
         an explicit directory, and ``False`` disables trace caching even
         with a ``cache_dir``.
+    backend:
+        Timing backend for the group simulations, one of
+        :data:`~repro.timing.dispatch.BACKENDS` (default ``"auto"``:
+        the vector array program for groups of at least
+        :data:`~repro.timing.vector.VECTOR_MIN_BATCH` configurations,
+        the per-config lowered interpreter otherwise).  Results are
+        bit-identical across backends, so cache keys ignore it.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  check: bool = True, version: Optional[str] = None,
-                 trace_cache: Union[None, bool, str] = None) -> None:
+                 trace_cache: Union[None, bool, str] = None,
+                 backend: str = "auto") -> None:
+        from repro.timing.dispatch import BACKENDS
+
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown timing backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        self.backend = backend
         self.jobs = max(1, int(jobs))
         self.cache = (ResultCache(cache_dir, version=version)
                       if cache_dir else None)
@@ -285,6 +307,11 @@ class SweepEngine:
         self.last_pool_tasks = 0
         #: Why the most recent run fell back to serial execution (if it did).
         self.last_fallback_reason: Optional[str] = None
+        #: Per simulated trace group of the most recent run: ``(number of
+        #: configurations, executed timing backend)`` — the observable
+        #: record that groups were routed through the batch dispatch, and
+        #: which execution each one resolved to.
+        self.last_batches: List[Tuple[int, str]] = []
 
     # ------------------------------------------------------------------
 
@@ -341,6 +368,7 @@ class SweepEngine:
         self.last_trace_builds = 0
         self.last_pool_tasks = 0
         self.last_fallback_reason = None
+        self.last_batches = []
 
         def emit(result: PointResult) -> PointResult:
             if on_result is not None:
@@ -381,14 +409,14 @@ class SweepEngine:
         """Yield the remaining points' results, simulated in this process.
 
         Points are batched by trace identity — one trace acquisition and
-        one lowering per group, then one simulation per point, yielded as
-        each completes (the generator stays lazy: nothing is simulated
-        ahead of the consumer).  ``keep_builds`` disables batching: every
-        point runs its own front-end build so each result can retain one.
+        one lowering per group, then one batch simulation through the
+        timing dispatch (all of a group's configurations at once, so the
+        vector backend can amortise the instruction walk), yielded one
+        point at a time.  The generator stays lazy at group granularity:
+        no group beyond the one being consumed is simulated ahead of the
+        consumer.  ``keep_builds`` disables batching: every point runs its
+        own front-end build so each result can retain one.
         """
-        from repro.timing.core import OutOfOrderCore
-        from repro.trace.stats import summarize_trace
-
         if keep_builds:
             for i in list(remaining):
                 sim, stats, build = _simulate_point_with_build(
@@ -404,14 +432,12 @@ class SweepEngine:
             return
 
         for group in _group_by_trace(points, list(remaining)):
-            trace, from_cache = _acquire_trace(points[group[0]], self.check,
-                                               self.trace_cache)
-            if not from_cache:
-                self.last_trace_builds += 1
-            stats = summarize_trace(trace)
-            lowered = trace.lower()
-            for i in group:
-                sim = OutOfOrderCore(points[i].config).run_lowered(lowered)
+            rows, builds, execution = _simulate_group(
+                [points[i] for i in group], self.check, self.trace_cache,
+                self.backend)
+            self.last_trace_builds += builds
+            self.last_batches.append(execution)
+            for i, (sim, stats, from_cache) in zip(group, rows):
                 remaining.remove(i)
                 yield PointResult(point=points[i], sim=sim, stats=stats,
                                   trace_cached=from_cache,
@@ -495,7 +521,7 @@ class SweepEngine:
                     pool.submit(
                         _pool_worker,
                         (tuple(points[i] for i in group), self.check,
-                         trace_dir)): group
+                         trace_dir, self.backend)): group
                     for group in groups
                 }
             except _POOL_FALLBACK_ERRORS as exc:
@@ -508,12 +534,13 @@ class SweepEngine:
                 for future in done:
                     group = futures[future]
                     try:
-                        rows, builds = future.result()
+                        rows, builds, execution = future.result()
                     except _POOL_FALLBACK_ERRORS as exc:
                         self.last_fallback_reason = (
                             f"{type(exc).__name__}: {exc}")
                         return
                     self.last_trace_builds += builds
+                    self.last_batches.append(execution)
                     for i, (sim, stats, trace_cached) in zip(group, rows):
                         remaining.remove(i)
                         yield PointResult(point=points[i], sim=sim,
@@ -530,7 +557,8 @@ class SweepEngine:
 
 
 def ensure_engine(engine: Optional[SweepEngine], jobs: int = 1,
-                  cache_dir: Optional[str] = None) -> SweepEngine:
+                  cache_dir: Optional[str] = None,
+                  backend: str = "auto") -> SweepEngine:
     """Return ``engine`` if given, else a fresh one from the plain options.
 
     Shared by every experiment driver that accepts either a pre-configured
@@ -538,4 +566,4 @@ def ensure_engine(engine: Optional[SweepEngine], jobs: int = 1,
     """
     if engine is not None:
         return engine
-    return SweepEngine(jobs=jobs, cache_dir=cache_dir)
+    return SweepEngine(jobs=jobs, cache_dir=cache_dir, backend=backend)

@@ -79,6 +79,24 @@ class CacheStats:
     def total_bytes(self) -> int:
         return sum(self.bytes.values())
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able form of the stats (``repro cache stats --json``).
+
+        Every field and derived total, plus nothing else — scripts can
+        rely on these keys staying stable.
+        """
+        return {
+            "cache_dir": self.cache_dir,
+            "entries": dict(self.entries),
+            "bytes": dict(self.bytes),
+            "total_entries": self.total_entries,
+            "total_bytes": self.total_bytes,
+            "lowered_entries": self.lowered_entries,
+            "stale_lowered_entries": self.stale_lowered_entries,
+            "oldest_mtime": self.oldest_mtime,
+            "newest_mtime": self.newest_mtime,
+        }
+
 
 @dataclass
 class GCReport:

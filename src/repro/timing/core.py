@@ -33,7 +33,8 @@ from repro.timing.results import SimResult
 from repro.trace.container import Trace
 from repro.trace.instruction import RegRef
 
-__all__ = ["MODEL_VERSION", "OutOfOrderCore", "simulate_trace"]
+__all__ = ["MODEL_VERSION", "VL_RENAME_SLOTS", "OutOfOrderCore",
+           "completion_latency", "occupancy_of", "simulate_trace"]
 
 #: Version tag of the timing model's *numbers*.  Bump whenever a change can
 #: alter simulated cycle counts for any trace/configuration — the sweep
@@ -41,6 +42,12 @@ __all__ = ["MODEL_VERSION", "OutOfOrderCore", "simulate_trace"]
 #: results.  Pure-performance refactors that preserve the numbers (checked
 #: by tests/test_golden_regression.py) must NOT bump it.
 MODEL_VERSION = "1"
+
+#: Rename slots of the vector-length register's tiny pool (it is never a
+#: bottleneck, but the dependence handling stays uniform).  Shared by the
+#: object loop, the lowered interpreter and the vector batch backend so
+#: the three can never drift.
+VL_RENAME_SLOTS = 8
 
 
 # Domain names used for issue queues.
@@ -55,6 +62,41 @@ def _domain_of(opclass: OpClass) -> str:
     if opclass.is_media:
         return _DOMAIN_MEDIA
     return _DOMAIN_INT
+
+
+def occupancy_of(config: MachineConfig, opclass: OpClass, vly: int,
+                 non_pipelined: bool) -> int:
+    """Cycles an instruction shape occupies its functional unit or port.
+
+    Pure function of ``(config, shape)``; shared by the object loop, the
+    lowered backend's per-shape resolution and the vector batch backend's
+    per-(shape, config) tables, so the three can never drift apart.
+    """
+    if non_pipelined:
+        # Non-pipelined matrix ops (transpose) hold the unit for their
+        # whole latency.
+        return config.latency_of(opclass)
+    if opclass.is_memory:
+        if vly > 1:
+            return math.ceil(vly / config.mem_port_width)
+        return 1
+    if opclass.is_media and vly > 1:
+        return math.ceil(vly / config.media_lanes)
+    return 1
+
+
+def completion_latency(config: MachineConfig, opclass: OpClass, vly: int,
+                       occupancy: int) -> int:
+    """Cycles from issue to result availability (see :func:`occupancy_of`)."""
+    base = config.latency_of(opclass)
+    if opclass.is_store:
+        return 1
+    latency = base + (occupancy - 1)
+    if opclass is OpClass.MEDIA_ACC and vly > 1:
+        # MOM pipelined dimension-Y reduction: extra fixed latency for the
+        # reduction tree (paper section 3.1).
+        latency += config.mom_reduction_latency
+    return latency
 
 
 class OutOfOrderCore:
@@ -101,10 +143,7 @@ class OutOfOrderCore:
             RegFile.ACC: SlotPool(
                 "acc-regs", config.phys_acc_regs - config.arch_acc_regs
             ),
-            # The vector-length register is renamed out of a tiny pool; it is
-            # never a bottleneck but keeping it here makes the dependence
-            # handling uniform.
-            RegFile.VL: SlotPool("vl-regs", 8),
+            RegFile.VL: SlotPool("vl-regs", VL_RENAME_SLOTS),
         }
 
         # Fast-path lookup tables: functional-unit pool and issue queue per
@@ -146,32 +185,12 @@ class OutOfOrderCore:
     def _occupancy_of(self, opclass: OpClass, vly: int,
                       non_pipelined: bool) -> int:
         """Cycles an instruction shape occupies its functional unit or port."""
-        cfg = self.config
-        if non_pipelined:
-            # Non-pipelined matrix ops (transpose) hold the unit for their
-            # whole latency.
-            return cfg.latency_of(opclass)
-        if opclass.is_memory:
-            if vly > 1:
-                return math.ceil(vly / cfg.mem_port_width)
-            return 1
-        if opclass.is_media and vly > 1:
-            return math.ceil(vly / cfg.media_lanes)
-        return 1
+        return occupancy_of(self.config, opclass, vly, non_pipelined)
 
     def _completion_latency(self, opclass: OpClass, vly: int,
                             occupancy: int) -> int:
         """Cycles from issue to result availability."""
-        cfg = self.config
-        base = cfg.latency_of(opclass)
-        if opclass.is_store:
-            return 1
-        latency = base + (occupancy - 1)
-        if opclass is OpClass.MEDIA_ACC and vly > 1:
-            # MOM pipelined dimension-Y reduction: extra fixed latency for the
-            # reduction tree (paper section 3.1).
-            latency += cfg.mom_reduction_latency
-        return latency
+        return completion_latency(self.config, opclass, vly, occupancy)
 
     def _mark_used(self) -> None:
         if self._used:
@@ -411,7 +430,7 @@ class OutOfOrderCore:
             RegFile.MEDIA: cfg.phys_media_regs - cfg.arch_media_regs,
             RegFile.MATRIX: cfg.phys_matrix_regs - cfg.arch_matrix_regs,
             RegFile.ACC: cfg.phys_acc_regs - cfg.arch_acc_regs,
-            RegFile.VL: 8,
+            RegFile.VL: VL_RENAME_SLOTS,
         }
         rename_heaps = tuple([] for _ in REG_POOL_ORDER)
         rename_capacities = tuple(max(0, rename_caps[file])

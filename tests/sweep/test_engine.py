@@ -351,3 +351,109 @@ class TestFigure4ThroughEngine:
         warm = SweepEngine(jobs=4, cache_dir=str(tmp_path))
         run_figure4(kernels=["comp", "h2v2"], ways=(4,), engine=warm)
         assert warm.last_simulated == 0
+
+
+class TestBackendRouting:
+    """Every simulated trace group goes through the timing package's batch
+    dispatch, the engine records each group's (size, executed backend),
+    and ``backend=`` selects the execution without changing a single
+    number."""
+
+    def _figure4_grid(self):
+        """The Figure 4 grid as `repro sweep` would expand it: every ISA of
+        each kernel across the four issue widths at 1-cycle memory."""
+        from repro.experiments.figure4 import figure4_sweep
+
+        return figure4_sweep(kernels=["comp"], ways=(1, 2, 4, 8), spec=_SPEC)
+
+    @pytest.fixture
+    def batch_hook(self):
+        from repro.timing.vector import add_batch_hook, remove_batch_hook
+
+        calls = []
+        hook = add_batch_hook(
+            lambda name, isa, n, mode: calls.append((name, isa, n, mode)))
+        yield calls
+        remove_batch_hook(hook)
+
+    def test_warm_figure4_grid_routes_through_batch_backend_serially(
+            self, tmp_path, batch_hook):
+        """Acceptance: a warm (trace-cached) figure-4 grid sweep simulates
+        every group through run_lowered_batch on the serial path."""
+        sweep = self._figure4_grid()
+        SweepEngine(trace_cache=str(tmp_path)).run(sweep)  # warm the traces
+
+        batch_hook.clear()
+        engine = SweepEngine(trace_cache=str(tmp_path))
+        results = engine.run(sweep)
+        assert engine.last_trace_builds == 0, "trace cache must be warm"
+        groups = 4  # one kernel x four ISAs
+        assert len(results) == groups * 4
+        # the engine's own record: every group went through the dispatch
+        assert sorted(engine.last_batches) == [(4, "lowered")] * groups
+        # and the batch backend itself observed every group
+        assert sorted(n for _k, _i, n, _m in batch_hook) == [4] * groups
+        assert {m for _k, _i, _n, m in batch_hook} == {"lowered"}
+
+    def test_warm_figure4_grid_routes_through_batch_backend_with_jobs(
+            self, tmp_path):
+        """Acceptance: same grid under --jobs — each pool task returns its
+        group's executed-backend record to the parent."""
+        sweep = self._figure4_grid()
+        SweepEngine(trace_cache=str(tmp_path)).run(sweep)
+
+        engine = SweepEngine(jobs=2, trace_cache=str(tmp_path))
+        results = engine.run(sweep)
+        assert len(results) == 16
+        assert engine.last_trace_builds == 0
+        assert len(engine.last_batches) >= 4
+        assert all(mode in ("lowered", "vector")
+                   for _n, mode in engine.last_batches)
+        assert sum(n for n, _mode in engine.last_batches) == 16
+        baseline = SweepEngine().run(sweep)
+        assert [r.sim for r in results] == [r.sim for r in baseline]
+
+    def test_backend_vector_forces_the_array_program(self, batch_hook):
+        sweep = self._figure4_grid()
+        engine = SweepEngine(backend="vector")
+        results = engine.run(sweep)
+        assert {mode for _n, mode in engine.last_batches} == {"vector"}
+        assert {m for _k, _i, _n, m in batch_hook} == {"vector"}
+        baseline = SweepEngine(backend="lowered").run(sweep)
+        assert [r.sim for r in results] == [r.sim for r in baseline]
+
+    def test_backend_object_matches_and_skips_the_batch_module(
+            self, batch_hook):
+        points = [SweepPoint("comp", "mom", MachineConfig.for_way(w), _SPEC)
+                  for w in (1, 4)]
+        engine = SweepEngine(backend="object")
+        results = engine.run(points)
+        assert engine.last_batches == [(2, "object")]
+        assert batch_hook == []  # object backend never enters vector.py
+        baseline = SweepEngine().run(points)
+        assert [r.sim for r in results] == [r.sim for r in baseline]
+
+    def test_auto_uses_vector_for_large_groups(self):
+        from repro.timing.vector import VECTOR_MIN_BATCH
+
+        configs = [MachineConfig.for_way(4, mem_latency=lat)
+                   for lat in range(1, VECTOR_MIN_BATCH + 1)]
+        sweep = SweepSpec.make(kernels=["comp"], isas=("mom",),
+                               configs=configs, spec=_SPEC)
+        engine = SweepEngine()
+        engine.run(sweep)
+        assert engine.last_batches == [(VECTOR_MIN_BATCH, "vector")]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown timing backend"):
+            SweepEngine(backend="fpga")
+
+    def test_backend_is_not_part_of_the_cache_key(self, tmp_path):
+        """Backends are bit-identical, so a result cached by one backend
+        must be served to every other."""
+        point = SweepPoint("comp", "mom", MachineConfig.for_way(4), _SPEC)
+        SweepEngine(cache_dir=str(tmp_path), backend="vector").run([point])
+        warm = SweepEngine(cache_dir=str(tmp_path), backend="object")
+        warm.run([point])
+        assert warm.last_cached == 1
+        assert warm.last_simulated == 0

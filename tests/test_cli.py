@@ -98,3 +98,84 @@ class TestCommands:
         for entry in results + traces:
             assert entry["workload"]["seed"] == 7
             assert entry["workload"]["scale"] == get_kernel("comp").default_scale
+
+
+class TestBackendFlag:
+    def test_backend_defaults_to_auto(self):
+        args = build_parser().parse_args(["sweep", "--kernels", "comp"])
+        assert args.backend == "auto"
+
+    def test_backend_choices(self):
+        for backend in ("auto", "object", "lowered", "vector"):
+            args = build_parser().parse_args(
+                ["sweep", "--kernels", "comp", "--backend", backend])
+            assert args.backend == backend
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--kernels", "comp", "--backend", "fpga"])
+
+    def test_backend_flag_on_every_sweep_command(self):
+        for command in (["figure4"], ["figure5"], ["tables"]):
+            args = build_parser().parse_args(
+                command + ["--kernels", "comp", "--backend", "vector"])
+            assert args.backend == "vector"
+
+    @pytest.mark.parametrize("backend", ["object", "lowered", "vector"])
+    def test_sweep_backends_print_identical_numbers(self, capsys, backend):
+        base = ["sweep", "--kernels", "comp", "--isas", "scalar", "mom",
+                "--scale", "1"]
+        assert main(base) == 0
+        auto_out = capsys.readouterr().out
+        assert main(base + ["--backend", backend]) == 0
+        assert capsys.readouterr().out == auto_out
+
+
+class TestCacheStatsJson:
+    def test_stats_json_round_trips(self, capsys, tmp_path):
+        import json
+
+        assert main(["sweep", "--kernels", "comp", "--isas", "mom",
+                     "--scale", "1", "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path),
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache_dir"] == str(tmp_path)
+        assert payload["entries"] == {"results": 1, "traces": 1}
+        assert payload["total_entries"] == 2
+        assert payload["total_bytes"] == sum(payload["bytes"].values())
+        assert payload["lowered_entries"] == 1
+        assert payload["stale_lowered_entries"] == 0
+        assert payload["oldest_mtime"] <= payload["newest_mtime"]
+
+    def test_stats_human_format_unchanged_without_flag(self, capsys,
+                                                       tmp_path):
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache root:" in out
+
+
+class TestStreamInstrRate:
+    def test_stream_jsonl_reports_sim_instr_per_sec(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "points.jsonl"
+        assert main(["sweep", "--kernels", "comp", "--isas", "scalar",
+                     "--scale", "1", "--stream-jsonl", str(out_path)]) == 0
+        capsys.readouterr()
+        (line,) = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert line["sim_instr_per_sec"] > 0
+
+    def test_cached_points_report_zero_rate(self, capsys, tmp_path):
+        import json
+
+        cache = tmp_path / "cache"
+        argv = ["sweep", "--kernels", "comp", "--isas", "mom", "--scale",
+                "1", "--cache-dir", str(cache)]
+        assert main(argv) == 0
+        out_path = tmp_path / "warm.jsonl"
+        assert main(argv + ["--stream-jsonl", str(out_path)]) == 0
+        capsys.readouterr()
+        (line,) = [json.loads(l) for l in out_path.read_text().splitlines()]
+        assert line["cached"] is True
+        assert line["sim_instr_per_sec"] == 0

@@ -307,3 +307,41 @@ class TestSingleUseCore:
         trace = _kernel_trace("comp", "scalar")
         cfg = MachineConfig.for_way(4)
         assert simulate_trace(trace, cfg) == simulate_trace(trace, cfg)
+
+
+class TestNdarrayColumns:
+    """The lowered form's NumPy columns (flat CSR srcs/dsts, shape/opcode
+    id columns) must mirror the canonical list rows exactly — the vector
+    batch backend consumes the columns, the payload round-trip the lists."""
+
+    def test_columns_mirror_list_rows(self):
+        lowered = lower_trace(_kernel_trace("motion1", "mom"))
+        n = lowered.num_instructions
+        assert lowered.shape_id_col.tolist() == lowered.shape_ids
+        assert lowered.opcode_id_col.tolist() == lowered.opcode_ids
+        assert len(lowered.src_indptr) == len(lowered.dst_indptr) == n + 1
+        for i in range(n):
+            lo, hi = lowered.src_indptr[i], lowered.src_indptr[i + 1]
+            assert tuple(lowered.src_flat[lo:hi]) == lowered.srcs[i]
+            lo, hi = lowered.dst_indptr[i], lowered.dst_indptr[i + 1]
+            assert [(int(r), int(p), bool(a)) for r, p, a in
+                    zip(lowered.dst_reg_flat[lo:hi],
+                        lowered.dst_pool_flat[lo:hi],
+                        lowered.dst_acc_flat[lo:hi])] \
+                == [tuple(d) for d in lowered.dsts[i]]
+
+    def test_columns_survive_payload_round_trip(self):
+        lowered = lower_trace(_kernel_trace("idct", "mdmx"))
+        revived = LoweredTrace.from_payload(lowered.to_payload())
+        assert (revived.src_flat == lowered.src_flat).all()
+        assert (revived.src_indptr == lowered.src_indptr).all()
+        assert (revived.dst_reg_flat == lowered.dst_reg_flat).all()
+        assert (revived.dst_pool_flat == lowered.dst_pool_flat).all()
+        assert (revived.dst_acc_flat == lowered.dst_acc_flat).all()
+
+    def test_empty_trace_columns(self):
+        lowered = lower_trace(Trace("empty", "test"))
+        assert lowered.src_indptr.tolist() == [0]
+        assert lowered.dst_indptr.tolist() == [0]
+        assert lowered.src_flat.size == 0
+        assert lowered.dst_reg_flat.size == 0
