@@ -11,6 +11,9 @@ The CLI exposes the experiment drivers without writing any Python:
   through the shared engine.
 * ``cache``    — inspect / garbage-collect / clear the on-disk caches
   (``repro cache stats|gc|clear --cache-dir DIR``).
+* ``calibrate`` — measure the vector backend's loop-vs-vector cut-over on
+  this machine and persist it for the ``auto`` backend rule
+  (``~/.cache/repro/calibration.json`` or ``$REPRO_CALIBRATION``).
 
 Every sweep-backed command accepts ``--jobs N`` (process-parallel
 execution), ``--cache-dir DIR`` (on-disk result + trace caches; warm
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import replace
@@ -254,6 +258,26 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=1999)
     _add_engine_flags(sweep_p)
 
+    cal_p = sub.add_parser(
+        "calibrate",
+        help="measure the vector backend's batch cut-over on this machine "
+             "and persist it for the auto backend rule")
+    cal_p.add_argument("--path", default=None,
+                       help="calibration file to write (default: "
+                            "$REPRO_CALIBRATION or "
+                            "~/.cache/repro/calibration.json)")
+    cal_p.add_argument("--instructions", type=int, default=1536,
+                       help="synthetic trace length for the measurement "
+                            "(default 1536)")
+    cal_p.add_argument("--repeats", type=int, default=3,
+                       help="timing repetitions per batch size; the best "
+                            "of each is kept (default 3)")
+    cal_p.add_argument("--dry-run", action="store_true",
+                       help="measure and report without persisting")
+    cal_p.add_argument("--json", action="store_true",
+                       help="emit the full measurement report as JSON on "
+                            "stdout")
+
     cache_p = sub.add_parser(
         "cache", help="inspect or prune the on-disk result/trace caches")
     cache_sub = cache_p.add_subparsers(dest="cache_command", required=True)
@@ -419,6 +443,55 @@ def _format_bytes(n: int) -> str:
     return f"{n:.1f} GiB"  # pragma: no cover - unreachable
 
 
+def _cmd_calibrate(args: argparse.Namespace) -> int:
+    from repro.timing.calibrate import (CALIBRATION_ENV, calibration_path,
+                                        measure_vector_cutover,
+                                        save_calibration, synthetic_trace)
+    from repro.timing.vector import VECTOR_MIN_BATCH, set_min_batch_override
+
+    # Under --json only the report goes to stdout; status lines move to
+    # stderr so the output stays machine-readable.
+    status = sys.stderr if args.json else sys.stdout
+
+    lowered = synthetic_trace(num_instructions=args.instructions).lower()
+    report = measure_vector_cutover(lowered, repeats=args.repeats)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"{'batch':>6s} {'loop ms':>9s} {'vector ms':>10s}  winner")
+        for row in report["measurements"]:
+            winner = "vector" if row["vector_wins"] else "loop"
+            print(f"{row['batch']:6d} {row['loop_s'] * 1e3:9.2f} "
+                  f"{row['vector_s'] * 1e3:10.2f}  {winner}")
+        print(f"\nmeasured cut-over: {report['vector_min_batch']} "
+              f"configuration(s) (constant fallback: {VECTOR_MIN_BATCH})")
+    if args.dry_run:
+        print("dry run: nothing persisted", file=status)
+        return 0
+    if calibration_path(args.path) is None:
+        print(f"error: calibration persistence is disabled "
+              f"({CALIBRATION_ENV} is off); pass --path or --dry-run",
+              file=sys.stderr)
+        return 2
+    path = save_calibration(report, path=args.path)
+    # Forget any lazily-cached value so this very process routes on the
+    # fresh measurement too.
+    set_min_batch_override(None)
+    print(f"persisted to {path}", file=status)
+    read_path = calibration_path(None)
+    if args.path is not None and (
+            read_path is None
+            or os.path.abspath(read_path) != os.path.abspath(path)):
+        # The auto rule only reads $REPRO_CALIBRATION / the default path;
+        # an explicit --path elsewhere is inert until pointed at.
+        where = (read_path if read_path is not None
+                 else f"nothing ({CALIBRATION_ENV} is off)")
+        print(f"note: the auto backend rule reads {where}; export "
+              f"{CALIBRATION_ENV}={path} to activate this file",
+              file=status)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     if args.cache_command == "stats":
         stats = cache_stats(args.cache_dir)
@@ -479,6 +552,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_tables(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "calibrate":
+        return _cmd_calibrate(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

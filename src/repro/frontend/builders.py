@@ -40,7 +40,7 @@ ISA_ORDER = ("scalar", "mmx", "mdmx", "mom")
 
 
 def make_builder(isa: str, machine: Optional[FunctionalMachine] = None,
-                 name: str = "") -> ScalarBuilder:
+                 name: str = "", columns: bool = True) -> ScalarBuilder:
     """Create a builder (and, if needed, a fresh machine) for ``isa``.
 
     Parameters
@@ -52,6 +52,11 @@ def make_builder(isa: str, machine: Optional[FunctionalMachine] = None,
         omitted.
     name:
         Trace name (usually the kernel name).
+    columns:
+        Emit into the column recorder (the default, zero-object fast path)
+        or the object-mode :class:`~repro.trace.container.Trace` (the
+        reference path the benchmarks compare against).  The emitted
+        instruction stream is identical either way.
     """
     try:
         cls = BUILDER_CLASSES[isa]
@@ -61,4 +66,4 @@ def make_builder(isa: str, machine: Optional[FunctionalMachine] = None,
         ) from exc
     if machine is None:
         machine = FunctionalMachine()
-    return cls(machine, Trace(name=name, isa=isa), name=name)
+    return cls(machine, Trace(name=name, isa=isa, columns=columns), name=name)

@@ -17,16 +17,31 @@ from repro.isa.registers import (
 __all__ = ["Memory", "FunctionalMachine"]
 
 
+def _lane_dtype(etype: ElementType) -> np.dtype:
+    """Little-endian NumPy dtype matching one packed lane of ``etype``."""
+    return np.dtype(f"<{'i' if etype.signed else 'u'}{etype.bits // 8}")
+
+
 class Memory:
     """Byte-addressable little-endian memory with a bump allocator.
 
     The size defaults to 4 MiB, comfortably larger than any kernel working
     set in this reproduction.  Addresses are plain Python ints.
+
+    Storage is one ``bytearray``; scalar accesses (the per-instruction
+    loads and stores of the functional builders) slice it directly, while
+    the array helpers below go through a zero-copy NumPy ``uint8`` view of
+    the same buffer — bulk workload setup and result extraction are single
+    vectorised ``view``/``astype`` operations, not per-element Python
+    loops.
     """
 
     def __init__(self, size: int = 4 << 20) -> None:
         self.size = size
         self._data = bytearray(size)
+        #: NumPy view sharing the bytearray's buffer (writes through either
+        #: are visible to both; the bytearray never resizes).
+        self._view = np.frombuffer(self._data, dtype=np.uint8)
         self._brk = 64  # keep address 0 unused to catch null-pointer bugs
 
     # -- allocation -------------------------------------------------------
@@ -71,29 +86,41 @@ class Memory:
     # -- NumPy array helpers (workload setup / result extraction) ---------
 
     def write_array(self, addr: int, array: np.ndarray, etype: ElementType) -> None:
-        """Write a NumPy array of lane values at ``addr`` in row-major order."""
+        """Write a NumPy array of lane values at ``addr`` in row-major order.
+
+        Each lane value is truncated to the element width (two's
+        complement, exactly ``int(value) & etype.mask``) and stored
+        little-endian.  Integer-dtype inputs take one vectorised
+        mask/astype/byte-view pass; ``object``-dtype arrays (arbitrary
+        Python ints) fall back to the per-element loop.
+        """
         flat = np.asarray(array).reshape(-1)
         nbytes = etype.bits // 8
         mask = etype.mask
-        buf = bytearray(len(flat) * nbytes)
-        for i, value in enumerate(flat):
-            buf[i * nbytes : (i + 1) * nbytes] = (int(value) & mask).to_bytes(
-                nbytes, "little"
-            )
-        self.write_bytes(addr, bytes(buf))
+        self._check(addr, flat.size * nbytes)
+        if flat.dtype == object:
+            buf = bytearray(flat.size * nbytes)
+            for i, value in enumerate(flat):
+                buf[i * nbytes : (i + 1) * nbytes] = (
+                    int(value) & mask).to_bytes(nbytes, "little")
+            self._data[addr : addr + len(buf)] = buf
+            return
+        lanes = (flat.astype(np.int64, copy=False) & np.int64(mask)).astype(
+            _lane_dtype(etype))
+        self._view[addr : addr + lanes.nbytes] = lanes.view(np.uint8)
 
     def read_array(self, addr: int, count: int, etype: ElementType) -> np.ndarray:
-        """Read ``count`` elements of ``etype`` starting at ``addr``."""
+        """Read ``count`` elements of ``etype`` starting at ``addr``.
+
+        One vectorised pass: the byte range is reinterpreted as the
+        little-endian lane dtype (sign extension comes with the signed
+        view) and widened to ``int64`` — no per-element Python loop.
+        """
         nbytes = etype.bits // 8
-        raw = self.read_bytes(addr, count * nbytes)
-        out = np.empty(count, dtype=np.int64)
-        sign_bit = 1 << (etype.bits - 1)
-        for i in range(count):
-            value = int.from_bytes(raw[i * nbytes : (i + 1) * nbytes], "little")
-            if etype.signed and value & sign_bit:
-                value -= 1 << etype.bits
-            out[i] = value
-        return out
+        self._check(addr, count * nbytes)
+        lanes = np.frombuffer(self._data, dtype=_lane_dtype(etype),
+                              count=count, offset=addr)
+        return lanes.astype(np.int64)
 
     def alloc_array(self, array: np.ndarray, etype: ElementType, align: int = 64) -> int:
         """Allocate space for ``array`` and write it; returns the address."""

@@ -19,20 +19,17 @@ from repro.frontend.scalar_builder import ScalarBuilder, _ref_int
 from repro.isa import accum, matrixops, simdops
 from repro.isa.opclasses import OpClass, RegFile
 from repro.isa.registers import MAX_MATRIX_ROWS
-from repro.trace.instruction import RegRef
+from repro.trace.instruction import ref_interner
 
 __all__ = ["MOMBuilder"]
 
 
-def _ref_mr(index: int) -> RegRef:
-    return RegRef(RegFile.MATRIX, index)
+# Interned matrix / accumulator lookups (shared per-file instances, see
+# repro.trace.instruction.ref_interner).
+_ref_mr = ref_interner(RegFile.MATRIX)
+_ref_acc = ref_interner(RegFile.ACC)
 
-
-def _ref_acc(index: int) -> RegRef:
-    return RegRef(RegFile.ACC, index)
-
-
-_REF_VL = RegRef(RegFile.VL, 0)
+_REF_VL = ref_interner(RegFile.VL)(0)
 
 
 class MOMBuilder(ScalarBuilder):

@@ -18,15 +18,17 @@ from typing import Optional, Sequence
 from repro.frontend.machine import FunctionalMachine
 from repro.isa.opclasses import OpClass, RegFile
 from repro.trace.container import Trace
-from repro.trace.instruction import DynInstr, RegRef
+from repro.trace.instruction import RegRef, ref_interner
 
 __all__ = ["ScalarBuilder"]
 
 _WORD64_MASK = (1 << 64) - 1
 
-
-def _ref_int(index: int) -> RegRef:
-    return RegRef(RegFile.INT, index)
+#: Interned scalar-register lookup: every emitted instruction names its
+#: operands through the shared per-file instances, so the emission hot
+#: path allocates no RegRef objects (and the column recorder's interning
+#: dict hashes the same few instances over and over).
+_ref_int = ref_interner(RegFile.INT)
 
 
 class ScalarBuilder:
@@ -64,21 +66,12 @@ class ScalarBuilder:
         vly: int = 1,
         is_vector: bool = False,
         non_pipelined: bool = False,
-    ) -> DynInstr:
-        instr = DynInstr(
-            opcode=opcode,
-            opclass=opclass,
-            isa=self.isa_name,
-            srcs=tuple(srcs),
-            dsts=tuple(dsts),
-            ops=ops,
-            vlx=vlx,
-            vly=vly,
-            is_vector=is_vector,
-            non_pipelined=non_pipelined,
-        )
-        self.trace.append(instr)
-        return instr
+    ) -> None:
+        # One positional call into the trace's emission path: a column-mode
+        # trace (the default) records flat ids and never constructs a
+        # DynInstr; an object-mode trace builds the instruction there.
+        self.trace.emit(opcode, opclass, tuple(srcs), tuple(dsts), ops,
+                        vlx, vly, is_vector, non_pipelined, self.isa_name)
 
     # ------------------------------------------------------------------
     # immediates and moves

@@ -16,17 +16,15 @@ from repro.common.datatypes import ElementType, U8, S16, U16, S32, pack_word, un
 from repro.frontend.scalar_builder import ScalarBuilder, _ref_int
 from repro.isa import accum, simdops
 from repro.isa.opclasses import OpClass, RegFile
-from repro.trace.instruction import RegRef
+from repro.trace.instruction import ref_interner
 
 __all__ = ["MMXBuilder", "MDMXBuilder"]
 
 
-def _ref_mm(index: int) -> RegRef:
-    return RegRef(RegFile.MEDIA, index)
-
-
-def _ref_acc(index: int) -> RegRef:
-    return RegRef(RegFile.ACC, index)
+# Interned multimedia / accumulator lookups (shared per-file instances,
+# see repro.trace.instruction.ref_interner).
+_ref_mm = ref_interner(RegFile.MEDIA)
+_ref_acc = ref_interner(RegFile.ACC)
 
 
 class MMXBuilder(ScalarBuilder):

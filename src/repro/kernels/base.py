@@ -138,12 +138,16 @@ class Kernel(abc.ABC):
         return fn(builder, workload)
 
     def run_variant(self, isa: str, spec: WorkloadSpec | None = None,
-                    workload: Dict[str, Any] | None = None) -> KernelBuildResult:
+                    workload: Dict[str, Any] | None = None,
+                    columns: bool = True) -> KernelBuildResult:
         """Build one variant on a fresh machine and verify its output.
 
         Either a :class:`WorkloadSpec` or a pre-generated ``workload`` dict
         may be supplied (the latter lets callers run all four variants on
-        identical data).
+        identical data).  ``columns`` selects the trace emission path (the
+        column fast path by default; ``False`` forces the object path for
+        the front-end benchmarks) — the build-counter hook fires for both,
+        so warm-sweep "zero builds" accounting covers the fast path too.
         """
         if workload is None:
             workload = self.make_workload(spec if spec is not None else WorkloadSpec(
@@ -151,7 +155,7 @@ class Kernel(abc.ABC):
         for hook in _BUILD_HOOKS:
             hook(self.name, isa)
         machine = FunctionalMachine()
-        builder = make_builder(isa, machine, name=self.name)
+        builder = make_builder(isa, machine, name=self.name, columns=columns)
         output = self.build(isa, builder, workload)
         return KernelBuildResult(
             kernel=self.name,

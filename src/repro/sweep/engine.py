@@ -20,7 +20,11 @@ group acquires its functional trace exactly once — from the trace cache or
 one front-end build — lowers it once
 (:meth:`~repro.trace.container.Trace.lower`) and simulates every machine
 configuration in the group off the shared
-:class:`~repro.timing.lowered.LoweredTrace`.  Under a worker pool one group
+:class:`~repro.timing.lowered.LoweredTrace`.  A cold build is an array
+program end to end: the builders emit into flat columns, the lowering is
+a zero-copy adoption of those columns, the cached payload serializes from
+them and the group's trace statistics are computed column-natively — no
+per-instruction Python objects exist anywhere on the path.  Under a worker pool one group
 is one task, so no two workers ever build the same trace concurrently (the
 old cold-cache duplicate-build race is gone by construction), and the
 build/lowering cost is amortised to ~zero per point.

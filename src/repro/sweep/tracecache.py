@@ -29,6 +29,11 @@ cache hit carries the original build's correctness guarantee.  Unreadable,
 truncated or format-mismatched entries count as plain misses — the trace is
 rebuilt rather than crashing the sweep.
 
+Writing an entry is object-free on the cold path: a column-built trace
+(:mod:`repro.trace.columns`) serializes its payload straight from the
+emission record pool and its lowering is the zero-copy adoption of the
+same columns — ``put`` never materialises per-instruction objects.
+
 Each entry also embeds the trace's **lowered payload** (the flat-array
 compilation the fast timing backend executes, see
 :mod:`repro.timing.lowered`), stamped with

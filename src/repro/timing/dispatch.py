@@ -43,11 +43,14 @@ def resolve_execution(backend: str, num_configs: int,
                       num_instructions: int = 0) -> str:
     """The concrete backend a ``simulate_batch`` call will execute.
 
-    ``auto`` resolves to ``"vector"`` when the batch reaches
-    :data:`~repro.timing.vector.VECTOR_MIN_BATCH` configurations and the
+    ``auto`` resolves to ``"vector"`` when the batch reaches the live
+    loop-vs-vector cut-over — the machine's persisted ``repro calibrate``
+    measurement when one exists, the
+    :data:`~repro.timing.vector.VECTOR_MIN_BATCH` constant otherwise (see
+    :func:`~repro.timing.vector.effective_min_batch`) — and the
     ``instructions x configs`` working set fits the vector backend's
-    :data:`~repro.timing.vector.VECTOR_AUTO_CELL_BUDGET` memory budget,
-    and ``"lowered"`` otherwise; explicit names resolve to themselves.
+    :data:`~repro.timing.vector.VECTOR_AUTO_CELL_BUDGET` memory budget;
+    ``"lowered"`` otherwise.  Explicit names resolve to themselves.
     Raises ``ValueError`` for an unknown backend name.
     """
     if backend not in BACKENDS:

@@ -90,6 +90,18 @@ def remove_lowering_hook(hook: Callable[[str, str, int], None]) -> None:
         pass
 
 
+def _notify_lowered(lowered: "LoweredTrace") -> None:
+    """Fire the lowering hooks for one fresh compilation.
+
+    Called by :func:`lower_trace` and by the column recorder's zero-copy
+    adoption (:meth:`repro.trace.columns.TraceColumns.adopt_lowered`) —
+    both are the one compile event of their trace, so the sweep tests'
+    "one lowering per distinct trace" accounting holds on either path.
+    """
+    for hook in _LOWERING_HOOKS:
+        hook(lowered.name, lowered.isa, lowered.num_instructions)
+
+
 class LoweredTrace:
     """The flat-array compilation of one :class:`~repro.trace.container.Trace`.
 
@@ -419,6 +431,5 @@ def lower_trace(trace) -> LoweredTrace:
         opcodes=opcodes,
         opcode_ids=opcode_ids,
     )
-    for hook in _LOWERING_HOOKS:
-        hook(lowered.name, lowered.isa, lowered.num_instructions)
+    _notify_lowered(lowered)
     return lowered

@@ -1,14 +1,18 @@
 """Dynamic instruction traces.
 
 The functional front end (:mod:`repro.frontend`) executes kernels at emit
-time and records one :class:`DynInstr` per dynamic instruction.  The timing
-model (:mod:`repro.timing`) consumes these records; the analysis layer
-(:mod:`repro.analysis`) derives the paper's operation-count metrics from
-them.
+time and records each dynamic instruction — by default into the
+:class:`TraceColumns` recorder (flat arrays, zero per-instruction
+objects), with :class:`DynInstr` objects materialised lazily on
+iteration.  The timing model (:mod:`repro.timing`) consumes the records;
+the analysis layer (:mod:`repro.analysis`) derives the paper's
+operation-count metrics from them.
 """
 
 from repro.trace.instruction import DynInstr, RegRef
+from repro.trace.columns import TraceColumns
 from repro.trace.container import Trace
 from repro.trace.stats import TraceStats, summarize_trace
 
-__all__ = ["DynInstr", "RegRef", "Trace", "TraceStats", "summarize_trace"]
+__all__ = ["DynInstr", "RegRef", "Trace", "TraceColumns", "TraceStats",
+           "summarize_trace"]

@@ -10,17 +10,29 @@ element-operation count used by the paper's OPI / R metrics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.isa.opclasses import OpClass, RegFile
 
 
 @dataclass(frozen=True)
 class RegRef:
-    """A reference to one architectural register (file + index)."""
+    """A reference to one architectural register (file + index).
+
+    References are hashed constantly — the column recorder's record pool
+    and the lowering pass both key dicts on operand tuples — so the hash
+    is computed once at construction and cached (the builders additionally
+    intern the common references into shared instances).
+    """
 
     file: RegFile
     index: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.file, self.index)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         prefix = {
@@ -31,6 +43,33 @@ class RegRef:
             RegFile.VL: "vl",
         }[self.file]
         return f"{prefix}{self.index}"
+
+
+#: One shared interned-reference table per register file (64 entries cover
+#: every architectural file with headroom); all builders draw from these,
+#: so equal references are usually the *same* instance everywhere.
+_INTERN_LIMIT = 64
+_INTERNED: Dict[RegFile, Tuple["RegRef", ...]] = {
+    file: tuple(RegRef(file, i) for i in range(_INTERN_LIMIT))
+    for file in RegFile
+}
+
+
+def ref_interner(file: RegFile) -> Callable[[int], "RegRef"]:
+    """A fast ``index -> RegRef`` lookup over the shared interned table.
+
+    The builders bind one of these per register file for their emission
+    hot paths; out-of-table indices (nothing architectural) fall back to a
+    fresh instance.
+    """
+    table = _INTERNED[file]
+
+    def ref(index: int) -> RegRef:
+        if 0 <= index < _INTERN_LIMIT:
+            return table[index]
+        return RegRef(file, index)
+
+    return ref
 
 
 @dataclass(frozen=True)

@@ -61,7 +61,16 @@ class TraceStats:
 
 
 def summarize_trace(trace: Trace) -> TraceStats:
-    """Compute :class:`TraceStats` for a trace in one pass."""
+    """Compute :class:`TraceStats` for a trace in one pass.
+
+    A column-mode trace is summarised straight from its record pool — each
+    distinct record contributes once, weighted by multiplicity — so the
+    sweep engine's stats pass materialises no instruction objects.  The
+    result is equal either way (``tests/trace/test_columns.py`` pins it).
+    """
+    columns = getattr(trace, "columns", None)
+    if columns is not None:
+        return columns.summarize()
     stats = TraceStats()
     for instr in trace:
         stats.num_instructions += 1

@@ -98,3 +98,80 @@ class TestFunctionalMachine:
         assert list(m.read_array(addr, 3, U8)) == [1, 2, 3]
         m.media_regs.write(0, 0x1234)
         assert m.read_media_word(0) == 0x1234
+
+
+class TestVectorizedArrayAccess:
+    """The NumPy array helpers must match the per-element reference
+    semantics exactly: little-endian storage, two's-complement truncation
+    on write, sign extension on read."""
+
+    def _reference_write(self, mem, addr, values, etype):
+        nbytes = etype.bits // 8
+        for i, value in enumerate(values):
+            mem.write_uint(addr + i * nbytes, int(value) & etype.mask, nbytes)
+
+    @pytest.mark.parametrize("etype", [U8, S16, U16, S32])
+    def test_write_matches_per_element_reference(self, etype):
+        fast, slow = Memory(), Memory()
+        rng = np.random.default_rng(7)
+        values = rng.integers(-(1 << 40), 1 << 40, size=37, dtype=np.int64)
+        fast.write_array(256, values, etype)
+        self._reference_write(slow, 256, values, etype)
+        assert (fast.read_bytes(256, 37 * etype.bits // 8)
+                == slow.read_bytes(256, 37 * etype.bits // 8))
+
+    @pytest.mark.parametrize("etype", [U8, S16, U16, S32])
+    def test_read_sign_extends(self, etype):
+        mem = Memory()
+        extremes = np.array([etype.min, etype.max, 0, -1 & etype.mask],
+                            dtype=np.int64)
+        mem.write_array(512, extremes, etype)
+        out = mem.read_array(512, len(extremes), etype)
+        assert out.dtype == np.int64
+        expected = [etype.min, etype.max, 0,
+                    -1 if etype.signed else etype.mask]
+        assert out.tolist() == expected
+
+    def test_object_dtype_write_falls_back_exactly(self):
+        mem = Memory()
+        huge = np.array([1 << 100, -(1 << 77), 5], dtype=object)
+        mem.write_array(128, huge, S32)
+        out = mem.read_array(128, 3, S32)
+        expected = [((1 << 100) & S32.mask), (-(1 << 77)) & S32.mask, 5]
+        expected = [v - (1 << 32) if v & (1 << 31) else v for v in expected]
+        assert out.tolist() == expected
+
+    def test_read_returns_independent_copy(self):
+        mem = Memory()
+        mem.write_array(64, np.arange(8), U8)
+        out = mem.read_array(64, 8, U8)
+        out[:] = 99
+        assert mem.read_array(64, 8, U8).tolist() == list(range(8))
+
+    def test_array_bounds_checked(self):
+        mem = Memory(size=128)
+        with pytest.raises(IndexError):
+            mem.write_array(120, np.arange(8), S16)
+        with pytest.raises(IndexError):
+            mem.read_array(120, 8, S16)
+
+    def test_scalar_and_array_paths_share_storage(self):
+        mem = Memory()
+        mem.write_array(64, np.array([0x1234, -2]), S16)
+        assert mem.read_uint(64, 2) == 0x1234
+        assert mem.read_sint(66, 2) == -2
+        mem.write_uint(64, 0x4321, 2)
+        assert mem.read_array(64, 1, S16).tolist() == [0x4321]
+
+    @given(st.lists(st.integers(min_value=-(1 << 62), max_value=1 << 62),
+                    min_size=1, max_size=64),
+           st.sampled_from([U8, S16, U16, S32]))
+    def test_roundtrip_truncation_property(self, values, etype):
+        mem = Memory()
+        mem.write_array(1024, np.array(values, dtype=np.int64), etype)
+        out = mem.read_array(1024, len(values), etype)
+        for value, got in zip(values, out):
+            lane = value & etype.mask
+            if etype.signed and lane & (1 << (etype.bits - 1)):
+                lane -= 1 << etype.bits
+            assert got == lane

@@ -457,3 +457,53 @@ class TestBackendRouting:
         warm.run([point])
         assert warm.last_cached == 1
         assert warm.last_simulated == 0
+
+
+class TestColumnFastPathAccounting:
+    """PR 5 regression: the column emission fast path is what the engine's
+    builds run through, and the build-counter / zero-build guarantees of
+    the trace cache hold for it unchanged."""
+
+    def test_cold_build_goes_through_columns_and_fires_hook(self, tmp_path):
+        from repro.kernels.base import add_build_hook, remove_build_hook
+        from repro.sweep.tracecache import TraceCache
+
+        counts = []
+        hook = add_build_hook(lambda kernel, isa: counts.append((kernel, isa)))
+        try:
+            engine = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+            engine.run(small_sweep())
+        finally:
+            remove_build_hook(hook)
+        distinct = len(_KERNELS) * 4
+        assert len(counts) == distinct, \
+            "column-path builds must fire the build hook"
+        assert engine.last_trace_builds == distinct
+        # the cache entries written from columns revive as full traces
+        cache = TraceCache(os.path.join(str(tmp_path), "traces"))
+        point = SweepPoint("comp", "mmx", MachineConfig.for_way(4), _SPEC)
+        revived = cache.get(point)
+        assert revived is not None
+        direct = run_kernel("comp", "mmx", config=MachineConfig.for_way(4),
+                            spec=_SPEC)
+        assert revived.to_payload() == direct.build.trace.to_payload()
+
+    def test_warm_sweep_does_zero_builds_through_new_path(self, tmp_path):
+        from repro.kernels.base import add_build_hook, remove_build_hook
+
+        SweepEngine(jobs=1, cache_dir=str(tmp_path)).run(small_sweep())
+        # warm *miss*: a configuration the result cache has not seen, so
+        # every point simulates — off cached traces, zero front-end builds
+        miss = SweepSpec.make(kernels=_KERNELS,
+                              configs=[MachineConfig.for_way(2)], spec=_SPEC)
+        counts = []
+        hook = add_build_hook(lambda kernel, isa: counts.append((kernel, isa)))
+        try:
+            engine = SweepEngine(jobs=1, cache_dir=str(tmp_path))
+            results = engine.run(miss)
+        finally:
+            remove_build_hook(hook)
+        assert engine.last_cached == 0
+        assert engine.last_simulated == len(results)
+        assert counts == [], "warm sweeps must do zero front-end builds"
+        assert engine.last_trace_builds == 0
