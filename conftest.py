@@ -12,3 +12,10 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: wall-clock-heavy tests (subprocess crash/resume scenarios); "
+        "deselect with -m 'not slow'")

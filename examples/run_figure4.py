@@ -5,13 +5,15 @@ Runs all nine kernels on 1-, 2-, 4- and 8-way machines for the four ISAs and
 prints the speed-up table (the data behind the paper's bar charts).
 
 Run:  python examples/run_figure4.py [scale] [--jobs N] [--cache-dir DIR]
-                                     [--stream-jsonl PATH]
+                                     [--stream-jsonl PATH] [--resume PATH]
 
 ``--jobs`` fans the 144 sweep points out over worker processes; with
 ``--cache-dir`` a warm re-run does zero simulations (and a warm *miss* —
 a new machine configuration over cached traces — does zero trace builds).
 ``--stream-jsonl`` appends each point's result as a JSON line the moment
-it completes; on a TTY a live progress line tracks the sweep.
+it completes; on a TTY a live progress line tracks the sweep.  With
+``--resume PATH`` every completed point lands in a write-ahead journal,
+so an interrupted run picks up where it stopped.
 """
 
 from __future__ import annotations
@@ -21,7 +23,7 @@ import time
 
 from repro.analysis.report import format_speedup_table
 from repro.cli import (add_sweep_arguments, engine_from_args, engine_summary,
-                       make_on_result)
+                       stream_sinks)
 from repro.experiments.figure4 import figure4_speedups, run_figure4
 from repro.workloads.generators import WorkloadSpec
 
@@ -32,11 +34,8 @@ def main() -> int:
     spec = WorkloadSpec(scale=args.scale) if args.scale else None
     engine = engine_from_args(args)
     start = time.time()
-    on_result, finish = make_on_result(args, total=9 * 4 * 4)
-    try:
+    with stream_sinks(args, total=9 * 4 * 4) as on_result:
         results = run_figure4(spec=spec, engine=engine, on_result=on_result)
-    finally:
-        finish()
     speedups = figure4_speedups(results)
     print(format_speedup_table(speedups))
     print(f"\n(regenerated in {time.time() - start:.1f}s: "

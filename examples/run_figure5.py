@@ -6,7 +6,7 @@ kernels and all four ISAs, prints the cycle counts and the slow-down of each
 ISA from the 1-cycle to the 50-cycle design point.
 
 Run:  python examples/run_figure5.py [scale] [--jobs N] [--cache-dir DIR]
-                                     [--stream-jsonl PATH]
+                                     [--stream-jsonl PATH] [--resume PATH]
 """
 
 from __future__ import annotations
@@ -16,7 +16,7 @@ import time
 
 from repro.analysis.report import format_latency_table
 from repro.cli import (add_sweep_arguments, engine_from_args, engine_summary,
-                       make_on_result)
+                       stream_sinks)
 from repro.experiments.figure5 import figure5_cycles, figure5_slowdowns, run_figure5
 from repro.workloads.generators import WorkloadSpec
 
@@ -27,11 +27,8 @@ def main() -> int:
     spec = WorkloadSpec(scale=args.scale) if args.scale else None
     engine = engine_from_args(args)
     start = time.time()
-    on_result, finish = make_on_result(args, total=9 * 3 * 4)
-    try:
+    with stream_sinks(args, total=9 * 3 * 4) as on_result:
         results = run_figure5(spec=spec, engine=engine, on_result=on_result)
-    finally:
-        finish()
     print(format_latency_table(figure5_cycles(results)))
 
     print("\nSlow-down from 1-cycle to 50-cycle memory latency:")

@@ -3,7 +3,7 @@
 kernel and ISA on the 4-way core with perfect (1-cycle) memory.
 
 Run:  python examples/run_tables.py [scale] [--jobs N] [--cache-dir DIR]
-                                    [--stream-jsonl PATH]
+                                    [--stream-jsonl PATH] [--resume PATH]
 """
 
 from __future__ import annotations
@@ -13,7 +13,7 @@ import time
 
 from repro.analysis.report import format_breakdown_table
 from repro.cli import (add_sweep_arguments, engine_from_args, engine_summary,
-                       make_on_result)
+                       stream_sinks)
 from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
 from repro.workloads.generators import WorkloadSpec
 
@@ -24,12 +24,9 @@ def main() -> int:
     spec = WorkloadSpec(scale=args.scale) if args.scale else None
     engine = engine_from_args(args)
     start = time.time()
-    on_result, finish = make_on_result(args, total=9 * 4)
-    try:
+    with stream_sinks(args, total=9 * 4) as on_result:
         tables = run_breakdown_tables(spec=spec, engine=engine,
                                       on_result=on_result)
-    finally:
-        finish()
     for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
         print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
         print(format_breakdown_table(kernel, tables[kernel]))

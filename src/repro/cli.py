@@ -18,18 +18,29 @@ The CLI exposes the experiment drivers without writing any Python:
 Every sweep-backed command accepts ``--jobs N`` (process-parallel
 execution), ``--cache-dir DIR`` (on-disk result + trace caches; warm
 re-runs do zero simulations, warm *misses* do zero trace builds),
-``--stream-jsonl PATH`` (append one JSON line per point as it completes,
-including the sweep's cumulative simulated instructions/second) and
+``--result-store {json,sqlite}`` (layout of the result cache under
+``--cache-dir``: one JSON file per point, or one SQLite database per
+cache root), ``--stream-jsonl PATH`` (append one JSON line per point as
+it completes, including the sweep's cumulative simulated
+instructions/second), ``--resume PATH`` (write-ahead journal: every
+completed point is appended durably, and re-running with the same PATH
+replays the journal instead of re-simulating — crash-safe sweeps) and
 ``--backend {auto,object,lowered,vector}`` (timing backend for the group
 simulations; identical numbers, different wall time).  A live
 ``done/total`` progress line with the simulated instr/s rate is written
 to stderr when it is a TTY, and ``repro cache stats --json`` emits the
 cache statistics as one JSON object for scripting.
+
+The streaming sinks are crash-safe: an engine exception or Ctrl-C still
+closes the JSONL stream (its last complete line intact) and clears the
+TTY progress line, and an interrupted command run with ``--resume``
+prints how to pick up where it stopped.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -49,14 +60,15 @@ from repro.experiments.runner import run_kernel_all_isas
 from repro.experiments.tables import TABLE_NUMBERS, run_breakdown_tables
 from repro.kernels.base import ISA_VARIANTS
 from repro.kernels.registry import KERNELS, kernel_names
-from repro.sweep import (PointResult, SweepEngine, SweepPoint, cache_stats,
-                         clear_cache, gc_cache, resolve_spec)
+from repro.sweep import (RESULT_STORES, PointResult, SweepEngine, SweepPoint,
+                         cache_stats, clear_cache, gc_cache, resolve_spec)
 from repro.timing.config import MachineConfig
 from repro.timing.dispatch import BACKENDS
 from repro.workloads.generators import WorkloadSpec
 
 __all__ = ["add_sweep_arguments", "build_parser", "engine_from_args",
-           "engine_summary", "main", "make_on_result", "version_string"]
+           "engine_summary", "main", "make_on_result", "stream_sinks",
+           "version_string"]
 
 
 def version_string() -> str:
@@ -76,9 +88,20 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None,
                         help="directory for the on-disk result + trace "
                              "caches (default: no caching)")
+    parser.add_argument("--result-store", default="json",
+                        choices=list(RESULT_STORES),
+                        help="result-cache layout under --cache-dir: one "
+                             "JSON file per point (default) or one SQLite "
+                             "database per cache root; both speak the same "
+                             "keys and repro cache manages either")
     parser.add_argument("--stream-jsonl", default=None, metavar="PATH",
                         help="append one JSON line per sweep point to PATH "
                              "as results complete")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="write-ahead journal: append every completed "
+                             "point to PATH and, on a re-run with the same "
+                             "PATH, replay it instead of re-simulating "
+                             "(crash-safe, resumable sweeps)")
     parser.add_argument("--backend", default="auto", choices=list(BACKENDS),
                         help="timing backend for group simulations "
                              "(default auto: the NumPy vector batch "
@@ -100,15 +123,20 @@ def add_sweep_arguments(parser: argparse.ArgumentParser,
 
 def engine_from_args(args: argparse.Namespace) -> SweepEngine:
     """Build a :class:`SweepEngine` from parsed ``--jobs``/``--cache-dir``
-    (plus ``--backend`` where the command defines it)."""
+    (plus ``--backend``/``--result-store``/``--resume`` where the command
+    defines them)."""
     return SweepEngine(jobs=args.jobs, cache_dir=args.cache_dir,
-                       backend=getattr(args, "backend", "auto"))
+                       backend=getattr(args, "backend", "auto"),
+                       result_store=getattr(args, "result_store", "json"),
+                       journal=getattr(args, "resume", None))
 
 
 def engine_summary(engine: SweepEngine) -> str:
     """One-line account of the engine's most recent run."""
     summary = (f"{engine.last_simulated} point(s) simulated, "
                f"{engine.last_cached} from cache")
+    if engine.last_journaled:
+        summary += f", {engine.last_journaled} from journal"
     if engine.trace_cache is not None:
         summary += (f"; {engine.last_trace_hits} trace hit(s), "
                     f"{engine.last_trace_builds} trace build(s)")
@@ -160,19 +188,30 @@ class _ProgressLine:
             f"last: {result.kernel}/{result.isa}\x1b[K")
         sys.stderr.flush()
 
-    def finish(self) -> None:
-        if self.enabled and self.done:
-            sys.stderr.write("\n")
-            sys.stderr.flush()
+    def finish(self, ok: bool = True) -> None:
+        """Terminate the progress line (idempotent).
+
+        On success the in-place line is committed with a newline; on
+        failure it is *cleared* instead, so a traceback or resume hint
+        never lands appended to a stale ``\\r`` line.
+        """
+        if not self.enabled or not self.done:
+            return
+        self.enabled = False  # make a second call (finally + except) a no-op
+        sys.stderr.write("\n" if ok else "\r\x1b[K")
+        sys.stderr.flush()
 
 
 def make_on_result(args: argparse.Namespace, total: int):
     """Build the streaming ``on_result`` callback a command should pass to
     its experiment driver, honouring ``--stream-jsonl`` and TTY progress.
 
-    Returns ``(on_result, finish)`` — call ``finish()`` after the sweep to
-    close the JSONL file and terminate the progress line.  ``on_result`` is
-    ``None`` when neither sink is active.
+    Returns ``(on_result, finish)`` — call ``finish()`` after the sweep
+    (``finish(ok=False)`` when it raised) to close the JSONL file and
+    terminate the progress line; both are safe to call twice.
+    ``on_result`` is ``None`` when neither sink is active.  Commands
+    should prefer the :func:`stream_sinks` context manager, which calls
+    ``finish`` correctly on every exit path.
     """
     progress = _ProgressLine(total)
     stream_path = getattr(args, "stream_jsonl", None)
@@ -181,6 +220,9 @@ def make_on_result(args: argparse.Namespace, total: int):
     def on_result(result: PointResult) -> None:
         progress.update(result)
         if stream is not None:
+            # One write + flush per record: a crash mid-sweep leaves at
+            # most one torn *trailing* line, which the journal/JSONL
+            # readers detect and skip.
             stream.write(json.dumps({
                 "index": result.index,
                 "kernel": result.kernel,
@@ -192,6 +234,7 @@ def make_on_result(args: argparse.Namespace, total: int):
                 "operations": result.sim.operations,
                 "ipc": result.sim.ipc,
                 "cached": result.cached,
+                "journaled": result.journaled,
                 "trace_cached": result.trace_cached,
                 # Cumulative simulated-instruction throughput of the sweep
                 # at the moment this point completed (0 while everything
@@ -200,14 +243,34 @@ def make_on_result(args: argparse.Namespace, total: int):
             }, sort_keys=True) + "\n")
             stream.flush()
 
-    def finish() -> None:
-        progress.finish()
-        if stream is not None:
+    def finish(ok: bool = True) -> None:
+        progress.finish(ok=ok)
+        if stream is not None and not stream.closed:
             stream.close()
 
     if stream is None and not progress.enabled:
         return None, finish
     return on_result, finish
+
+
+@contextlib.contextmanager
+def stream_sinks(args: argparse.Namespace, total: int):
+    """Context manager over :func:`make_on_result`'s sinks.
+
+    Yields the ``on_result`` callback (or ``None``) and guarantees the
+    sinks are released on *every* exit path: normally on success, and with
+    ``finish(ok=False)`` when the body raises (including
+    ``KeyboardInterrupt``) — the JSONL stream is closed with its last
+    complete line intact and the TTY progress line is cleared rather than
+    left dangling under the traceback.
+    """
+    on_result, finish = make_on_result(args, total)
+    try:
+        yield on_result
+    except BaseException:
+        finish(ok=False)
+        raise
+    finish()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -321,7 +384,7 @@ def _print_engine_summary(engine: SweepEngine) -> None:
     if engine.cache is not None:
         print(f"\n[sweep] {engine_summary(engine)} "
               f"({engine.cache.cache_dir})")
-    elif engine.last_fallback_reason:
+    elif engine.last_fallback_reason or engine.last_journaled:
         print(f"\n[sweep] {engine_summary(engine)}")
 
 
@@ -352,13 +415,10 @@ def _kernel_count(kernels: Optional[Sequence[str]]) -> int:
 def _cmd_figure4(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
     total = _kernel_count(args.kernels) * len(args.ways) * len(ISA_VARIANTS)
-    on_result, finish = make_on_result(args, total)
-    try:
+    with stream_sinks(args, total) as on_result:
         results = run_figure4(kernels=args.kernels, ways=tuple(args.ways),
                               spec=_spec(args.scale), engine=engine,
                               on_result=on_result)
-    finally:
-        finish()
     print(format_speedup_table(figure4_speedups(results), ways=tuple(args.ways)))
     _print_engine_summary(engine)
     return 0
@@ -368,14 +428,11 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
     total = (_kernel_count(args.kernels) * len(args.latencies)
              * len(ISA_VARIANTS))
-    on_result, finish = make_on_result(args, total)
-    try:
+    with stream_sinks(args, total) as on_result:
         results = run_figure5(kernels=args.kernels,
                               latencies=tuple(args.latencies),
                               spec=_spec(args.scale), engine=engine,
                               on_result=on_result)
-    finally:
-        finish()
     print(format_latency_table(figure5_cycles(results),
                                latencies=tuple(args.latencies)))
     print("\nSlow-down from the lowest to the highest latency:")
@@ -389,13 +446,10 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 def _cmd_tables(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
     total = _kernel_count(args.kernels) * len(ISA_VARIANTS)
-    on_result, finish = make_on_result(args, total)
-    try:
+    with stream_sinks(args, total) as on_result:
         tables = run_breakdown_tables(kernels=args.kernels, way=args.way,
                                       spec=_spec(args.scale), engine=engine,
                                       on_result=on_result)
-    finally:
-        finish()
     for kernel in sorted(tables, key=lambda k: TABLE_NUMBERS[k]):
         print(f"\n(paper Table {TABLE_NUMBERS[kernel]})")
         print(format_breakdown_table(kernel, tables[kernel]))
@@ -419,18 +473,16 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for config in configs
         for isa in args.isas
     ]
-    on_result, finish = make_on_result(args, len(points))
-    try:
+    with stream_sinks(args, len(points)) as on_result:
         results = engine.run(points, on_result=on_result)
-    finally:
-        finish()
     print(f"{'kernel':10s} {'isa':7s} {'config':8s} {'mem':>4s} "
           f"{'cycles':>10s} {'instrs':>8s} {'IPC':>6s}  cached")
     for r in results:
+        source = "journal" if r.journaled else ("yes" if r.cached else "no")
         print(f"{r.kernel:10s} {r.isa:7s} {r.point.config.name:8s} "
               f"{r.point.config.mem_latency:4d} {r.sim.cycles:10d} "
               f"{r.sim.instructions:8d} {r.sim.ipc:6.2f}  "
-              f"{'yes' if r.cached else 'no'}")
+              f"{source}")
     _print_engine_summary(engine)
     return 0
 
@@ -506,9 +558,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         print(f"  total    {stats.total_entries:6d} entr"
               f"{'y' if stats.total_entries == 1 else 'ies'}, "
               f"{_format_bytes(stats.total_bytes)}")
+        if stats.sqlite_entries:
+            print(f"  of the results, {stats.sqlite_entries} row(s) in "
+                  f"results.db (sqlite store)")
         if stats.entries["traces"]:
             print(f"  lowered payloads: {stats.lowered_entries} current, "
                   f"{stats.stale_lowered_entries} stale/absent")
+        if stats.tmp_files:
+            print(f"  orphaned temp files: {stats.tmp_files} "
+                  f"({_format_bytes(stats.tmp_bytes)}), "
+                  f"{stats.stale_tmp_files} stale (gc will sweep)")
         if stats.oldest_mtime is not None:
             age = time.time() - stats.oldest_mtime
             print(f"  least recently used entry: {age / 86400:.1f} day(s) ago")
@@ -526,20 +585,24 @@ def _cmd_cache(args: argparse.Namespace) -> int:
               f"{'y' if report.removed == 1 else 'ies'} "
               f"({_format_bytes(report.bytes_freed)} freed); "
               f"{report.kept} kept ({_format_bytes(report.bytes_kept)})")
+        if report.tmp_removed:
+            print(f"swept {report.tmp_removed} stale temp file(s) "
+                  f"({_format_bytes(report.tmp_bytes_freed)} freed)")
         return 0
     if args.cache_command == "clear":
         report = clear_cache(args.cache_dir)
         print(f"cleared {report.removed} entr"
               f"{'y' if report.removed == 1 else 'ies'} "
               f"({_format_bytes(report.bytes_freed)} freed)")
+        if report.tmp_removed:
+            print(f"swept {report.tmp_removed} temp file(s) "
+                  f"({_format_bytes(report.tmp_bytes_freed)} freed)")
         return 0
     raise AssertionError(
         f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "list":
         return _cmd_list()
     if args.command == "run":
@@ -557,3 +620,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code.
+
+    Ctrl-C exits with the conventional 130 instead of a traceback; when
+    the interrupted command carried ``--resume``, every completed point is
+    already in the journal and the exit message says how to pick up.
+    """
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        resume = getattr(args, "resume", None)
+        if resume:
+            print(f"completed points are journaled; re-run with "
+                  f"--resume {resume} to continue", file=sys.stderr)
+        return 130

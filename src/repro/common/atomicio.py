@@ -1,0 +1,50 @@
+"""Atomic JSON file writes, shared by every on-disk store.
+
+The result cache, the trace cache and the calibration file all follow the
+same durability rule: a reader may never observe a half-written entry, so
+every write goes to a same-directory temporary file first and lands with
+one atomic :func:`os.replace`.  This module is the single implementation
+of that rule.
+
+Temporary files carry the ``.tmp`` suffix.  A process killed between
+``mkstemp`` and ``os.replace`` (SIGKILL, power loss) orphans one such
+file; the ordinary exception path unlinks it, and
+:func:`repro.sweep.manage.gc_cache` sweeps any survivor older than a
+grace period (``repro cache gc`` / ``stats`` report them), so orphans are
+bounded garbage, never corruption.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["TMP_SUFFIX", "atomic_write_json"]
+
+#: Suffix of in-flight temporary files; the cache manager recognises (and
+#: eventually sweeps) stale files carrying it.
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write_json(path: str, obj: Any, **dump_kwargs: Any) -> None:
+    """Write ``obj`` as JSON to ``path`` atomically (tempfile + rename).
+
+    The temporary file lives in ``path``'s directory (same filesystem, so
+    the final :func:`os.replace` is atomic) and is unlinked on any failure
+    between creation and rename.  ``dump_kwargs`` pass through to
+    :func:`json.dump` (``sort_keys``, ``separators``, ``indent``, ...).
+    """
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=TMP_SUFFIX)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as f:
+            json.dump(obj, f, **dump_kwargs)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -9,31 +9,43 @@ The sweep subsystem is the shared engine behind every experiment driver
   runs them, optionally over a :class:`concurrent.futures.ProcessPoolExecutor`
   (with a deterministic in-process fallback), with streaming results via
   :meth:`~repro.sweep.engine.SweepEngine.iter_results` / ``on_result``;
-* :class:`~repro.sweep.cache.ResultCache` — content-addressed storage of
-  simulation results keyed by a stable hash of (kernel, ISA, machine
-  configuration, workload spec, timing-model version);
+* :class:`~repro.sweep.cache.ResultCache` /
+  :class:`~repro.sweep.sqlite_store.SQLiteResultStore` — content-addressed
+  storage of simulation results keyed by a stable hash of (kernel, ISA,
+  machine configuration, workload spec, timing-model version), as one JSON
+  file per point or one SQLite database per cache root
+  (:func:`~repro.sweep.cache.make_result_store` picks by name);
+* :class:`~repro.sweep.journal.SweepJournal` — a write-ahead JSONL journal
+  of completed points enabling crash-safe, resumable sweeps
+  (``repro sweep --resume``);
 * :class:`~repro.sweep.tracecache.TraceCache` — content-addressed storage of
   serialized functional traces keyed by (kernel, ISA, workload spec,
   builder version), shared by the parent and every worker process;
-* :mod:`~repro.sweep.manage` — stats / GC / clear over both stores
+* :mod:`~repro.sweep.manage` — stats / GC / clear over all stores
   (``repro cache`` on the command line).
 
 See ``docs/sweep-engine.md`` for the full guide.
 """
 
-from repro.sweep.cache import ResultCache, point_key
+from repro.sweep.cache import (RESULT_STORES, ResultCache, make_result_store,
+                               point_key)
 from repro.sweep.engine import PointResult, SweepEngine, ensure_engine
+from repro.sweep.journal import SweepJournal, read_jsonl
 from repro.sweep.manage import (CacheStats, GCReport, cache_stats,
                                 clear_cache, gc_cache)
 from repro.sweep.spec import SweepPoint, SweepSpec, resolve_spec
+from repro.sweep.sqlite_store import SQLiteResultStore
 from repro.sweep.tracecache import TraceCache, trace_key
 
 __all__ = [
     "CacheStats",
     "GCReport",
     "PointResult",
+    "RESULT_STORES",
     "ResultCache",
+    "SQLiteResultStore",
     "SweepEngine",
+    "SweepJournal",
     "SweepPoint",
     "SweepSpec",
     "TraceCache",
@@ -41,7 +53,9 @@ __all__ = [
     "clear_cache",
     "ensure_engine",
     "gc_cache",
+    "make_result_store",
     "point_key",
+    "read_jsonl",
     "resolve_spec",
     "trace_key",
 ]

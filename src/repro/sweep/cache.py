@@ -26,10 +26,11 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from collections import Counter
 from dataclasses import fields
 from typing import Any, Dict, Optional
+
+from repro.common.atomicio import atomic_write_json
 
 from repro.isa.opclasses import OpClass
 from repro.timing.config import MachineConfig
@@ -38,8 +39,31 @@ from repro.timing.results import SimResult
 from repro.trace.stats import TraceStats
 from repro.sweep.spec import SweepPoint
 
-__all__ = ["ResultCache", "point_key", "sim_to_dict", "sim_from_dict",
-           "stats_to_dict", "stats_from_dict"]
+__all__ = ["RESULT_STORES", "ResultCache", "make_result_store", "point_key",
+           "sim_to_dict", "sim_from_dict", "stats_to_dict", "stats_from_dict"]
+
+#: Result-store backends the engine and CLI accept (``--result-store``).
+RESULT_STORES = ("json", "sqlite")
+
+
+def make_result_store(kind: str, cache_dir: str,
+                      version: Optional[str] = None):
+    """Build a result store of the requested backend over ``cache_dir``.
+
+    ``"json"`` is the one-file-per-point :class:`ResultCache`; ``"sqlite"``
+    is the single-database
+    :class:`~repro.sweep.sqlite_store.SQLiteResultStore`.  Both share the
+    same interface, key anatomy and tolerance rules, so callers never need
+    to know which one they hold.
+    """
+    if kind == "json":
+        return ResultCache(cache_dir, version=version)
+    if kind == "sqlite":
+        from repro.sweep.sqlite_store import SQLiteResultStore
+
+        return SQLiteResultStore(cache_dir, version=version)
+    raise ValueError(f"unknown result store {kind!r}; "
+                     f"choose from {RESULT_STORES}")
 
 
 def _config_to_dict(config: MachineConfig) -> Dict[str, Any]:
@@ -218,17 +242,7 @@ class ResultCache:
             "sim": sim_to_dict(sim),
             "stats": stats_to_dict(stats),
         }
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(entry, f, sort_keys=True)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, entry, sort_keys=True)
         return key
 
     def load_result(self, entry: Dict[str, Any]):

@@ -8,11 +8,18 @@ points get executed:
   ``jobs > 1`` — each worker rebuilds its kernel workload from the (seeded,
   deterministic) spec, so no large arrays cross the process boundary and
   parallel results are bit-identical to serial ones,
-* optionally backed by an on-disk :class:`~repro.sweep.cache.ResultCache`
-  (re-running a sweep whose points are already cached does zero simulations)
-  and an on-disk :class:`~repro.sweep.tracecache.TraceCache` (a point whose
-  *result* misses but whose functional trace is cached skips the dominant
-  trace-rebuild cost — in every process, parent or worker).
+* optionally backed by an on-disk result store — the one-file-per-point
+  :class:`~repro.sweep.cache.ResultCache` or the single-database
+  :class:`~repro.sweep.sqlite_store.SQLiteResultStore` (re-running a sweep
+  whose points are already cached does zero simulations) — and an on-disk
+  :class:`~repro.sweep.tracecache.TraceCache` (a point whose *result*
+  misses but whose functional trace is cached skips the dominant
+  trace-rebuild cost — in every process, parent or worker),
+* optionally journaled: with a write-ahead
+  :class:`~repro.sweep.journal.SweepJournal` every completed point is
+  appended durably as it lands, and a restarted sweep replays the journal
+  first — an interrupted million-point run resumes where it died instead
+  of starting over (``repro sweep --resume PATH``).
 
 Points are executed in **trace batches**: the points left after the result-
 cache scan are grouped by trace identity (kernel, ISA, workload), and each
@@ -52,7 +59,9 @@ from dataclasses import dataclass
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Tuple, Union)
 
-from repro.sweep.cache import ResultCache
+from repro.sweep.cache import (RESULT_STORES, make_result_store, point_key,
+                               sim_from_dict, stats_from_dict)
+from repro.sweep.journal import SweepJournal
 from repro.sweep.spec import SweepPoint, SweepSpec
 from repro.sweep.tracecache import TRACE_SUBDIR, TraceCache
 from repro.timing.results import SimResult
@@ -90,6 +99,10 @@ class PointResult:
     cached:
         True when the whole result was served from the on-disk result cache
         (no simulation ran).
+    journaled:
+        True when the result was replayed from a write-ahead
+        :class:`~repro.sweep.journal.SweepJournal` (a resumed sweep; no
+        simulation ran and the result cache was not consulted).
     trace_cached:
         True when the simulation ran but its functional trace came from the
         trace cache (no front-end build ran).
@@ -111,6 +124,7 @@ class PointResult:
     sim: SimResult
     stats: TraceStats
     cached: bool = False
+    journaled: bool = False
     trace_cached: bool = False
     build: Optional[object] = None
     checked: bool = True
@@ -274,21 +288,46 @@ class SweepEngine:
         :data:`~repro.timing.vector.VECTOR_MIN_BATCH` configurations,
         the per-config lowered interpreter otherwise).  Results are
         bit-identical across backends, so cache keys ignore it.
+    result_store:
+        On-disk layout of the result cache, one of
+        :data:`~repro.sweep.cache.RESULT_STORES`: ``"json"`` (one file per
+        point — inspectable, the default) or ``"sqlite"`` (one
+        ``results.db`` per cache root — what million-point sweeps want).
+        Identical keys and semantics either way; ignored without a
+        ``cache_dir``.
+    journal:
+        Write-ahead journal for crash-safe sweeps: a
+        :class:`~repro.sweep.journal.SweepJournal`, a path for one, or
+        ``None`` (default, no journaling).  Every completed point is
+        appended as it lands; on the next run over the same journal the
+        recorded points replay instantly and are neither re-simulated nor
+        re-built (``repro sweep --resume PATH``).  A per-call ``journal=``
+        on :meth:`run` / :meth:`iter_results` overrides this.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  check: bool = True, version: Optional[str] = None,
                  trace_cache: Union[None, bool, str] = None,
-                 backend: str = "auto") -> None:
+                 backend: str = "auto", result_store: str = "json",
+                 journal: Union[None, str, SweepJournal] = None) -> None:
         from repro.timing.dispatch import BACKENDS
 
         if backend not in BACKENDS:
             raise ValueError(f"unknown timing backend {backend!r}; "
                              f"choose from {BACKENDS}")
+        if result_store not in RESULT_STORES:
+            raise ValueError(f"unknown result store {result_store!r}; "
+                             f"choose from {RESULT_STORES}")
         self.backend = backend
+        self.result_store = result_store
         self.jobs = max(1, int(jobs))
-        self.cache = (ResultCache(cache_dir, version=version)
+        self._version = version
+        self.cache = (make_result_store(result_store, cache_dir,
+                                        version=version)
                       if cache_dir else None)
+        if isinstance(journal, (str, os.PathLike)):
+            journal = SweepJournal(journal)
+        self.journal = journal
         if trace_cache is None:
             trace_cache = (os.path.join(cache_dir, TRACE_SUBDIR)
                            if cache_dir else False)
@@ -298,6 +337,9 @@ class SweepEngine:
         self.last_simulated = 0
         #: Number of points served whole from the result cache.
         self.last_cached = 0
+        #: Number of points replayed from the write-ahead journal by the
+        #: most recent run (a resumed sweep; zero without a journal).
+        self.last_journaled = 0
         #: Of the simulated points, how many got their trace from the cache.
         self.last_trace_hits = 0
         #: Front-end builds the most recent run executed.  Points sharing a
@@ -321,7 +363,9 @@ class SweepEngine:
 
     def run(self, sweep: Union[SweepSpec, Iterable[SweepPoint]],
             keep_builds: bool = False,
-            on_result: Optional[OnResult] = None) -> List[PointResult]:
+            on_result: Optional[OnResult] = None,
+            journal: Union[None, str, SweepJournal] = None,
+            ) -> List[PointResult]:
         """Execute a sweep and return one :class:`PointResult` per point, in
         the sweep's deterministic expansion order.
 
@@ -339,10 +383,15 @@ class SweepEngine:
             Optional callback invoked with each :class:`PointResult` as it
             completes (completion order, not expansion order) — the barrier
             return value is unaffected.
+        journal:
+            Write-ahead journal for this run, overriding the engine-level
+            one (see the class docstring); recorded points replay without
+            simulation, fresh completions are appended as they land.
         """
         results = {r.index: r
                    for r in self.iter_results(sweep, keep_builds=keep_builds,
-                                              on_result=on_result)}
+                                              on_result=on_result,
+                                              journal=journal)}
         return [results[i] for i in range(len(results))]
 
     def run_point(self, point: SweepPoint) -> PointResult:
@@ -352,36 +401,69 @@ class SweepEngine:
     def iter_results(self, sweep: Union[SweepSpec, Iterable[SweepPoint]],
                      keep_builds: bool = False,
                      on_result: Optional[OnResult] = None,
+                     journal: Union[None, str, SweepJournal] = None,
                      ) -> Iterator[PointResult]:
         """Yield one :class:`PointResult` per point *as each completes*.
 
-        Result-cache hits are yielded first (they are free), then simulated
-        points in completion order — under a worker pool that order is
-        nondeterministic, so each result carries its expansion-order
-        ``index``.  The yielded set is always exactly the sweep's points;
-        sorting by ``index`` reproduces :meth:`run`'s return value.
+        Journal replays and result-cache hits are yielded first (they are
+        free), then simulated points in completion order — under a worker
+        pool that order is nondeterministic, so each result carries its
+        expansion-order ``index``.  The yielded set is always exactly the
+        sweep's points; sorting by ``index`` reproduces :meth:`run`'s
+        return value.
 
         ``on_result`` (if given) is called with every result just before it
         is yielded, which suits callers that both stream and collect.
+
+        With a ``journal`` (here or on the engine), every non-replayed
+        result is appended to it *before* ``on_result`` runs — a crash
+        inside the callback still leaves the point recorded for resume.
         """
         points = [p.resolved() for p in
                   (sweep.points() if isinstance(sweep, SweepSpec) else sweep)]
         self.last_simulated = 0
         self.last_cached = 0
+        self.last_journaled = 0
         self.last_trace_hits = 0
         self.last_trace_builds = 0
         self.last_pool_tasks = 0
         self.last_fallback_reason = None
         self.last_batches = []
 
+        if isinstance(journal, (str, os.PathLike)):
+            journal = SweepJournal(journal)
+        if journal is None:
+            journal = self.journal
+        use_journal = journal is not None and not keep_builds
+        completed = journal.load() if use_journal else {}
+
+        def key_of(point: SweepPoint) -> str:
+            if self.cache is not None:
+                return self.cache.key_for(point)
+            return point_key(point, version=self._version)
+
         def emit(result: PointResult) -> PointResult:
+            if use_journal and not result.journaled:
+                journal.record(key_of(result.point), result)
             if on_result is not None:
                 on_result(result)
             return result
 
-        # Serve what we can from the result cache.
+        # Serve what we can from the journal, then the result cache.
         todo: List[int] = []
         for i, point in enumerate(points):
+            if completed:
+                record = completed.get(key_of(point))
+                if record is not None:
+                    sim = sim_from_dict(record["sim"])
+                    stats = stats_from_dict(record["stats"])
+                    self.last_journaled += 1
+                    yield emit(PointResult(point=point, sim=sim, stats=stats,
+                                           journaled=True,
+                                           checked=bool(
+                                               record.get("checked", True)),
+                                           index=i))
+                    continue
             if self.cache is not None and not keep_builds:
                 cached = self.cache.get(point)
                 if cached is not None:

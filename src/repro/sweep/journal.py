@@ -1,0 +1,275 @@
+"""Write-ahead result journal: crash-safe sweeps that resume where they died.
+
+A million-point design-space sweep that dies at point 999,000 must not
+re-simulate the first 999,000 points.  The :class:`SweepJournal` is the
+engine's durability mechanism for exactly that: an append-only JSONL file
+recording every completed point — its result-cache key (the SHA-256 content
+hash from :mod:`repro.sweep.cache`, which already identifies the point
+exactly), its expansion index, and the full result payload (the same
+``sim``/``stats`` serialisation the result cache stores).  On startup the
+engine replays the journal and serves every recorded point without
+simulating, building, or even touching the result cache; only the remainder
+falls through to the normal cache/compute path.
+
+Framing and crash tolerance
+---------------------------
+
+Each record is one JSON object on one line, written with a **single**
+``write`` call followed by a flush — a record either lands whole (with its
+trailing newline) or is a torn tail.  A crashed writer therefore leaves at
+most one partial line at the end of the file.  The reader
+(:func:`read_jsonl`) treats any bytes after the last newline — and any line
+that does not parse — as uncommitted: they are skipped, counted, and never
+an exception.  Opening the journal for appending truncates the torn tail
+first, so the file heals on resume and stays parseable by strict line
+readers from then on.
+
+The same tolerant reader serves ``--stream-jsonl`` output files, which use
+identical framing and are equally likely to end mid-line after a crash.
+
+What a record means
+-------------------
+
+The key embeds the timing-model version, every machine-configuration field,
+the kernel, ISA and workload — so replay can never serve a stale result: a
+model bump (or any other change) changes the key and the old records simply
+match nothing.  Records from runs that skipped golden-reference
+verification carry ``"checked": false`` and replay with that flag intact.
+
+The journal is an *execution log*, not a cache: it is keyed to one sweep's
+points and replays in O(points), with no eviction policy.  Long-lived
+cross-sweep storage is the result cache's job
+(:class:`~repro.sweep.cache.ResultCache` or
+:class:`~repro.sweep.sqlite_store.SQLiteResultStore`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import IO, Any, Dict, List, Optional, Tuple
+
+__all__ = ["JOURNAL_FORMAT", "JsonlScan", "SweepJournal", "read_jsonl"]
+
+#: Version of the journal record layout; bump on incompatible changes.
+#: Readers skip header records of other formats (and their files' records),
+#: so an old journal degrades to "nothing to replay", never a crash.
+JOURNAL_FORMAT = 1
+
+#: Marker field of the header record (first line of a fresh journal).
+_HEADER_MARKER = "repro-sweep-journal"
+
+
+class JsonlScan:
+    """Outcome of one tolerant JSONL scan (see :func:`read_jsonl`).
+
+    Attributes
+    ----------
+    records:
+        The parsed objects, in file order.
+    good_end:
+        Byte offset just past the last complete (newline-terminated) line —
+        the truncation point that removes the torn tail, if any.
+    torn_bytes:
+        Length of the uncommitted tail after the last newline (0 = clean).
+    skipped_lines:
+        Complete lines that did not parse as JSON (corrupt middles; rare).
+    """
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self.good_end = 0
+        self.torn_bytes = 0
+        self.skipped_lines = 0
+
+
+def read_jsonl(path: str) -> JsonlScan:
+    """Read a JSONL file tolerating a torn trailing record.
+
+    A line is *committed* only when its trailing newline reached the file;
+    anything after the last newline is a partial record from an interrupted
+    writer and is reported via :attr:`JsonlScan.torn_bytes` instead of
+    raising ``json.JSONDecodeError``.  Complete lines that fail to parse
+    are counted in :attr:`JsonlScan.skipped_lines` and skipped.  A missing
+    file scans as empty.
+    """
+    scan = JsonlScan()
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError:
+        return scan
+    offset = 0
+    while True:
+        newline = data.find(b"\n", offset)
+        if newline < 0:
+            break
+        line = data[offset:newline]
+        offset = newline + 1
+        scan.good_end = offset
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            scan.skipped_lines += 1
+            continue
+        if isinstance(record, dict):
+            scan.records.append(record)
+        else:
+            scan.skipped_lines += 1
+    scan.torn_bytes = len(data) - scan.good_end
+    return scan
+
+
+class SweepJournal:
+    """Append-only, crash-tolerant journal of completed sweep points.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Created (with a format header) on the first
+        append; an existing file is replayed by :meth:`load` and healed of
+        any torn tail before new records are appended.
+    fsync:
+        Also ``os.fsync`` after every record.  Off by default: a flush
+        survives process death (the failure mode sweeps actually have);
+        fsync additionally survives OS/power loss at a large per-point
+        cost.
+
+    Usage (what the engine does)::
+
+        journal = SweepJournal(path)
+        completed = journal.load()          # key -> record, torn tail healed
+        ...                                 # skip points whose key is here
+        journal.record(key, result)         # after each fresh completion
+        journal.close()
+
+    Attributes
+    ----------
+    replayed:
+        Records the most recent :meth:`load` returned.
+    torn_bytes_discarded:
+        Bytes of partial trailing record discarded by the most recent
+        :meth:`load` (0 for a cleanly-closed journal).
+    skipped_lines:
+        Corrupt complete lines the most recent :meth:`load` skipped.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self.replayed = 0
+        self.torn_bytes_discarded = 0
+        self.skipped_lines = 0
+        self._file: Optional[IO[str]] = None
+        self._good_end: Optional[int] = None
+
+    # -- reading -----------------------------------------------------------
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Replay the journal: return ``{key: record}`` of completed points.
+
+        Tolerates a missing file (empty journal), a torn trailing record
+        (discarded; counted in :attr:`torn_bytes_discarded`) and corrupt
+        lines (skipped).  Header records and records of other formats are
+        ignored.  When the same key appears twice (two crashed runs sharing
+        one journal) the later record wins.
+        """
+        scan = read_jsonl(self.path)
+        self._good_end = scan.good_end
+        self.torn_bytes_discarded = scan.torn_bytes
+        self.skipped_lines = scan.skipped_lines
+        completed: Dict[str, Dict[str, Any]] = {}
+        for record in scan.records:
+            if record.get("journal") == _HEADER_MARKER:
+                if record.get("format") != JOURNAL_FORMAT:
+                    # A file stamped by an incompatible layout: nothing
+                    # after its header can be trusted to mean what this
+                    # reader thinks it means.
+                    break
+                continue
+            if record.get("format", JOURNAL_FORMAT) != JOURNAL_FORMAT:
+                continue
+            key = record.get("key")
+            if isinstance(key, str) and "sim" in record and "stats" in record:
+                completed[key] = record
+        self.replayed = len(completed)
+        return completed
+
+    # -- writing -----------------------------------------------------------
+
+    def _open(self) -> IO[str]:
+        """Open for appending, healing any torn tail exactly once."""
+        if self._file is None:
+            directory = os.path.dirname(self.path)
+            if directory:
+                os.makedirs(directory, exist_ok=True)
+            if self._good_end is None:
+                # Appending without a prior load() still must not extend a
+                # torn tail into a corrupt middle line.
+                scan = read_jsonl(self.path)
+                self._good_end = scan.good_end
+                self.torn_bytes_discarded = scan.torn_bytes
+            fresh = not os.path.exists(self.path)
+            if not fresh:
+                size = os.path.getsize(self.path)
+                if size > self._good_end:
+                    with open(self.path, "r+b") as f:
+                        f.truncate(self._good_end)
+            self._file = open(self.path, "a", encoding="utf-8")
+            if fresh or self._good_end == 0:
+                self._write_line({"journal": _HEADER_MARKER,
+                                  "format": JOURNAL_FORMAT})
+        return self._file
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        assert self._file is not None
+        # One write call per record: a crash leaves at most a torn tail,
+        # never an interleaving of two half-records.
+        self._file.write(line + "\n")
+        self._file.flush()
+        if self.fsync:
+            os.fsync(self._file.fileno())
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one raw record (a JSON-able dict) with atomic framing."""
+        self._open()
+        self._write_line(record)
+
+    def record(self, key: str, result: "PointResult") -> None:  # noqa: F821
+        """Append the journal record of one completed point.
+
+        ``key`` is the point's result-cache key (content hash); the record
+        stores everything needed to rebuild the :class:`PointResult` on
+        resume without touching the cache or the simulator.
+        """
+        from repro.sweep.cache import sim_to_dict, stats_to_dict
+
+        self.append({
+            "key": key,
+            "index": result.index,
+            "kernel": result.kernel,
+            "isa": result.isa,
+            "config": result.point.config.name,
+            "mem_latency": result.point.config.mem_latency,
+            "checked": result.checked,
+            "sim": sim_to_dict(result.sim),
+            "stats": stats_to_dict(result.stats),
+        })
+
+    def close(self) -> None:
+        """Close the underlying file (appends reopen it transparently)."""
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+            # A later append must re-scan: the committed end has moved past
+            # the offset remembered at open time.
+            self._good_end = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

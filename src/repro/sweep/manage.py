@@ -1,16 +1,20 @@
 """Management of the on-disk sweep caches: stats, eviction (GC), clearing.
 
-One cache root holds both stores the engine uses —
+One cache root holds every store the engine uses —
 
-* result entries at ``<cache_dir>/<key[:2]>/<key>.json``
-  (:class:`~repro.sweep.cache.ResultCache`), and
+* JSON result entries at ``<cache_dir>/<key[:2]>/<key>.json``
+  (:class:`~repro.sweep.cache.ResultCache`),
+* SQLite result rows in ``<cache_dir>/results.db``
+  (:class:`~repro.sweep.sqlite_store.SQLiteResultStore`; present when the
+  sweep ran with ``--result-store sqlite``), and
 * trace entries at ``<cache_dir>/traces/<key[:2]>/<key>.json``
   (:class:`~repro.sweep.tracecache.TraceCache`)
 
-— and this module treats them uniformly: every entry is one JSON file whose
-modification time doubles as its age.  Both caches are content-addressed, so
-eviction is always safe — a removed entry is a future cache miss, never a
-correctness problem.
+— and this module treats them uniformly: every entry is one
+:class:`CacheEntry` whose last-use timestamp (file mtime, or the SQLite
+row's access time) doubles as its age.  All stores are content-addressed,
+so eviction is always safe — a removed entry is a future cache miss, never
+a correctness problem.
 
 Eviction policy (:func:`gc_cache`):
 
@@ -18,12 +22,21 @@ Eviction policy (:func:`gc_cache`):
 2. If the survivors still exceed ``max_bytes`` (when given), drop
    oldest-first until the total fits.
 
-Both caches touch entries on read, so "oldest" means least recently *used*
+All stores touch entries on read, so "oldest" means least recently *used*
 (true LRU), and a whole section can be exempted from eviction with ``keep``
 (``repro cache gc --keep-traces`` / ``--keep-results`` — e.g. protect the
 expensive-to-rebuild traces while pruning cheap-to-recompute results).
 
-The CLI exposes this as ``repro cache stats|gc|clear``.
+Stale temporary files
+---------------------
+
+Every file-based write goes through an atomic tempfile + rename
+(:mod:`repro.common.atomicio`); a process killed between the two orphans
+one ``*.tmp`` file.  :func:`cache_stats` reports them and :func:`gc_cache`
+sweeps any older than a grace period (:data:`TMP_GRACE_SECONDS` — young
+ones may belong to a live writer), so crashes leave bounded garbage.
+
+The CLI exposes all of this as ``repro cache stats|gc|clear``.
 """
 
 from __future__ import annotations
@@ -31,26 +44,37 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.common.atomicio import TMP_SUFFIX
 from repro.sweep.tracecache import TRACE_SUBDIR
 from repro.timing.lowered import LOWERING_VERSION
 
-__all__ = ["CacheEntry", "CacheStats", "GCReport",
-           "iter_cache_entries", "cache_stats", "gc_cache", "clear_cache"]
+__all__ = ["CacheEntry", "CacheStats", "GCReport", "TMP_GRACE_SECONDS",
+           "iter_cache_entries", "iter_tmp_files", "cache_stats", "gc_cache",
+           "clear_cache"]
 
 #: Logical sections of a shared cache root.
 _SECTIONS = ("results", "traces")
 
+#: Grace period before an orphaned ``*.tmp`` file counts as stale: a file
+#: this young may be a live writer's in-flight entry, so GC leaves it.
+TMP_GRACE_SECONDS = 3600.0
+
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One on-disk cache entry (a result or a serialized trace)."""
+    """One cache entry: a result file, a SQLite result row, or a trace.
+
+    ``key`` is set only for SQLite rows (whose ``path`` is the shared
+    database file) — it is what eviction deletes by.
+    """
 
     path: str
     section: str  # "results" or "traces"
-    size: int     # bytes
-    mtime: float  # POSIX timestamp of the last write
+    size: int     # bytes (payload size for SQLite rows)
+    mtime: float  # POSIX timestamp of the last use
+    key: Optional[str] = None  # SQLite row key; None for plain files
 
 
 @dataclass
@@ -62,12 +86,20 @@ class CacheStats:
         default_factory=lambda: {s: 0 for s in _SECTIONS})
     bytes: Dict[str, int] = field(
         default_factory=lambda: {s: 0 for s in _SECTIONS})
+    #: Of the result entries, how many are rows of ``results.db``.
+    sqlite_entries: int = 0
     #: Trace entries carrying a lowered payload of the *live*
     #: LOWERING_VERSION (a warm read of these skips the lowering pass too).
     lowered_entries: int = 0
     #: Trace entries whose lowered payload is missing or version-stale
     #: (still valid traces; they re-lower on first use).
     stale_lowered_entries: int = 0
+    #: Orphaned ``*.tmp`` files from interrupted atomic writes (all ages).
+    tmp_files: int = 0
+    tmp_bytes: int = 0
+    #: Of those, how many exceed the GC grace period (``repro cache gc``
+    #: will sweep exactly these).
+    stale_tmp_files: int = 0
     oldest_mtime: Optional[float] = None
     newest_mtime: Optional[float] = None
 
@@ -91,8 +123,12 @@ class CacheStats:
             "bytes": dict(self.bytes),
             "total_entries": self.total_entries,
             "total_bytes": self.total_bytes,
+            "sqlite_entries": self.sqlite_entries,
             "lowered_entries": self.lowered_entries,
             "stale_lowered_entries": self.stale_lowered_entries,
+            "tmp_files": self.tmp_files,
+            "tmp_bytes": self.tmp_bytes,
+            "stale_tmp_files": self.stale_tmp_files,
             "oldest_mtime": self.oldest_mtime,
             "newest_mtime": self.newest_mtime,
         }
@@ -106,6 +142,10 @@ class GCReport:
     kept: int = 0
     bytes_freed: int = 0
     bytes_kept: int = 0
+    #: Stale temporary files swept (reported separately from entries — a
+    #: tmp file was never a cache entry).
+    tmp_removed: int = 0
+    tmp_bytes_freed: int = 0
 
 
 def _iter_section(root: str, section: str) -> Iterator[CacheEntry]:
@@ -136,10 +176,43 @@ def _iter_section(root: str, section: str) -> Iterator[CacheEntry]:
                              size=st.st_size, mtime=st.st_mtime)
 
 
+def _iter_sqlite_results(cache_dir: str) -> Iterator[CacheEntry]:
+    """Rows of the root's ``results.db`` as uniform cache entries."""
+    from repro.sweep import sqlite_store
+
+    path = sqlite_store.db_path(cache_dir)
+    for key, size, atime in sqlite_store.iter_rows(cache_dir):
+        yield CacheEntry(path=path, section="results", size=size,
+                         mtime=atime, key=key)
+
+
 def iter_cache_entries(cache_dir: str) -> Iterator[CacheEntry]:
-    """Yield every entry under a shared cache root (results, then traces)."""
+    """Yield every entry under a shared cache root (results, then traces).
+
+    Result entries cover both layouts: JSON files and SQLite rows.
+    """
     yield from _iter_section(cache_dir, "results")
+    yield from _iter_sqlite_results(cache_dir)
     yield from _iter_section(os.path.join(cache_dir, TRACE_SUBDIR), "traces")
+
+
+def iter_tmp_files(cache_dir: str) -> Iterator[Tuple[str, int, float]]:
+    """Yield ``(path, size, mtime)`` of every ``*.tmp`` file under the root.
+
+    These are orphans of interrupted atomic writes (every live write
+    unlinks its tempfile on failure; only a kill between ``mkstemp`` and
+    ``os.replace`` leaves one behind).
+    """
+    for root, _dirs, files in os.walk(cache_dir):
+        for name in files:
+            if not name.endswith(TMP_SUFFIX):
+                continue
+            path = os.path.join(root, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            yield path, st.st_size, st.st_mtime
 
 
 def _has_live_lowering(path: str) -> bool:
@@ -154,18 +227,25 @@ def _has_live_lowering(path: str) -> bool:
         return False
 
 
-def cache_stats(cache_dir: str) -> CacheStats:
+def cache_stats(cache_dir: str, now: Optional[float] = None) -> CacheStats:
     """Scan a cache root and return per-section entry/byte counts.
 
     Trace entries are additionally opened to classify their lowered
     payloads (:attr:`CacheStats.lowered_entries` /
-    :attr:`CacheStats.stale_lowered_entries`) — this is an admin-path scan,
-    not something the sweep hot path ever runs.
+    :attr:`CacheStats.stale_lowered_entries`), and orphaned temporary
+    files are counted (stale = older than :data:`TMP_GRACE_SECONDS`
+    relative to ``now``, defaulting to the current time) — this is an
+    admin-path scan, not something the sweep hot path ever runs.
     """
+    import time
+
+    reference = time.time() if now is None else now
     stats = CacheStats(cache_dir=os.fspath(cache_dir))
     for entry in iter_cache_entries(cache_dir):
         stats.entries[entry.section] += 1
         stats.bytes[entry.section] += entry.size
+        if entry.key is not None:
+            stats.sqlite_entries += 1
         if entry.section == "traces":
             if _has_live_lowering(entry.path):
                 stats.lowered_entries += 1
@@ -175,10 +255,23 @@ def cache_stats(cache_dir: str) -> CacheStats:
             stats.oldest_mtime = entry.mtime
         if stats.newest_mtime is None or entry.mtime > stats.newest_mtime:
             stats.newest_mtime = entry.mtime
+    for _path, size, mtime in iter_tmp_files(cache_dir):
+        stats.tmp_files += 1
+        stats.tmp_bytes += size
+        if reference - mtime > TMP_GRACE_SECONDS:
+            stats.stale_tmp_files += 1
     return stats
 
 
-def _remove(entry: CacheEntry, report: GCReport) -> None:
+def _remove(entry: CacheEntry, report: GCReport,
+            sqlite_doomed: List[str]) -> None:
+    if entry.key is not None:
+        # SQLite rows are deleted in one batch after the scan; account now
+        # so the size arithmetic matches the file path.
+        sqlite_doomed.append(entry.key)
+        report.removed += 1
+        report.bytes_freed += entry.size
+        return
     try:
         os.unlink(entry.path)
     except OSError:
@@ -192,19 +285,36 @@ def _remove(entry: CacheEntry, report: GCReport) -> None:
         pass
 
 
+def _sweep_tmp_files(cache_dir: str, report: GCReport, reference: float,
+                     grace_seconds: float) -> None:
+    """Unlink orphaned tempfiles older than the grace period."""
+    for path, size, mtime in list(iter_tmp_files(cache_dir)):
+        if reference - mtime <= grace_seconds:
+            continue
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        report.tmp_removed += 1
+        report.tmp_bytes_freed += size
+
+
 def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
              max_age_seconds: Optional[float] = None,
              now: Optional[float] = None,
-             keep: Iterable[str] = ()) -> GCReport:
+             keep: Iterable[str] = (),
+             tmp_grace_seconds: float = TMP_GRACE_SECONDS) -> GCReport:
     """Evict cache entries by age and/or total size; returns a report.
 
-    Both caches touch entries on read, so mtime-ordered eviction is true
-    least-recently-used.
+    All stores touch entries on read, so mtime-ordered eviction is true
+    least-recently-used.  Independently of the bounds, every orphaned
+    ``*.tmp`` file older than ``tmp_grace_seconds`` is swept (reported via
+    :attr:`GCReport.tmp_removed`, not as an evicted entry).
 
     Parameters
     ----------
     cache_dir:
-        Shared cache root (results + traces).
+        Shared cache root (results — JSON and SQLite — plus traces).
     max_bytes:
         Keep total on-disk size at or under this many bytes, evicting
         least-recently-used entries first.  ``None`` puts no size bound.
@@ -219,10 +329,15 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
         their entries always survive but still count toward the size bound,
         so e.g. ``keep=("traces",)`` prunes results until the *combined*
         total fits or no evictable entry is left.
+    tmp_grace_seconds:
+        Minimum age before an orphaned tempfile is swept (younger ones may
+        belong to a live writer).
 
-    With neither bound given this is a no-op scan.
+    With neither bound given this sweeps stale tempfiles and nothing else.
     """
     import time
+
+    from repro.sweep import sqlite_store
 
     reference = time.time() if now is None else now
     protected = frozenset(keep)
@@ -232,19 +347,20 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
     entries: List[CacheEntry] = sorted(iter_cache_entries(cache_dir),
                                        key=lambda e: e.mtime)
     report = GCReport()
+    sqlite_doomed: List[str] = []
 
     survivors: List[CacheEntry] = []
     for entry in entries:
         if (entry.section not in protected
                 and max_age_seconds is not None
                 and reference - entry.mtime > max_age_seconds):
-            _remove(entry, report)
+            _remove(entry, report, sqlite_doomed)
         else:
             survivors.append(entry)
 
     if max_bytes is not None:
         total = sum(e.size for e in survivors)
-        removed_paths = set()
+        removed_ids = set()
         # survivors are least-recently-used-first: evict evictable entries
         # from the front until the total fits.
         for entry in survivors:
@@ -252,10 +368,15 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
                 break
             if entry.section in protected:
                 continue
-            _remove(entry, report)
-            removed_paths.add(entry.path)
+            _remove(entry, report, sqlite_doomed)
+            removed_ids.add((entry.path, entry.key))
             total -= entry.size
-        survivors = [e for e in survivors if e.path not in removed_paths]
+        survivors = [e for e in survivors
+                     if (e.path, e.key) not in removed_ids]
+
+    if sqlite_doomed:
+        sqlite_store.delete_keys(cache_dir, sqlite_doomed)
+    _sweep_tmp_files(cache_dir, report, reference, tmp_grace_seconds)
 
     report.kept = len(survivors)
     report.bytes_kept = sum(e.size for e in survivors)
@@ -263,8 +384,23 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
 
 
 def clear_cache(cache_dir: str) -> GCReport:
-    """Remove every entry under a cache root; returns what was freed."""
+    """Remove every entry under a cache root; returns what was freed.
+
+    Clears all three stores (JSON results, SQLite results, traces) and
+    every orphaned tempfile regardless of age.
+    """
+    from repro.sweep import sqlite_store
+
     report = GCReport()
+    sqlite_doomed: List[str] = []
     for entry in list(iter_cache_entries(cache_dir)):
-        _remove(entry, report)
+        _remove(entry, report, sqlite_doomed)
+    if sqlite_doomed:
+        sqlite_store.delete_keys(cache_dir, sqlite_doomed, vacuum=False)
+    # An emptied database file is pure overhead — drop it (and its WAL
+    # sidecars) so "clear" really returns the root to pristine.
+    if sqlite_doomed or os.path.exists(sqlite_store.db_path(cache_dir)):
+        sqlite_store.remove_store(cache_dir)
+    _sweep_tmp_files(cache_dir, report, reference=float("inf"),
+                     grace_seconds=0.0)
     return report

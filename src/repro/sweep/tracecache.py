@@ -52,9 +52,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from typing import Any, Dict, Optional
 
+from repro.common.atomicio import atomic_write_json
 from repro.frontend.builders import BUILDER_VERSION
 from repro.sweep.spec import SweepPoint
 from repro.timing.lowered import LoweredTrace
@@ -194,15 +194,5 @@ class TraceCache:
             # it and re-lower from the trace.
             "lowered": trace.lower().to_payload(),
         }
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as f:
-                json.dump(entry, f, sort_keys=True, separators=(",", ":"))
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        atomic_write_json(path, entry, sort_keys=True, separators=(",", ":"))
         return key

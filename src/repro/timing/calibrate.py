@@ -25,9 +25,10 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import time
 from typing import Any, Dict, List, Optional, Sequence
+
+from repro.common.atomicio import atomic_write_json
 
 __all__ = ["CALIBRATION_ENV", "CALIBRATION_FORMAT", "DEFAULT_BATCH_LADDER",
            "calibration_path", "load_calibration", "measure_vector_cutover",
@@ -165,18 +166,7 @@ def save_calibration(result: Dict[str, Any],
         **result,
     }
     os.makedirs(os.path.dirname(target) or ".", exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(target) or ".",
-                               suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w", encoding="utf-8") as f:
-            json.dump(entry, f, indent=2, sort_keys=True)
-        os.replace(tmp, target)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    atomic_write_json(target, entry, indent=2, sort_keys=True)
     return target
 
 

@@ -1,0 +1,324 @@
+"""Tests of the write-ahead sweep journal: framing, healing, resume.
+
+The journal's contract has two halves — a tolerant JSONL layer
+(:func:`read_jsonl` must treat a torn trailing record as uncommitted, never
+as a parse error) and the engine's resume semantics (a journaled point is
+replayed bit-for-bit and re-simulates, re-builds and re-caches nothing).
+Both are exercised here; the crash-injection scenarios (killed processes,
+broken pools) live in ``test_crash_resume.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.sweep import (
+    SweepEngine,
+    SweepJournal,
+    SweepSpec,
+    point_key,
+    read_jsonl,
+)
+from repro.sweep.cache import sim_to_dict
+from repro.sweep.journal import JOURNAL_FORMAT
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+_SPEC = WorkloadSpec(scale=1, seed=7)
+
+
+def _sweep(kernels=("comp",), ways=(1, 2)) -> SweepSpec:
+    return SweepSpec.make(kernels=list(kernels),
+                          configs=[MachineConfig.for_way(w) for w in ways],
+                          spec=_SPEC)
+
+
+class TestReadJsonl:
+    def test_missing_file_scans_empty(self, tmp_path):
+        scan = read_jsonl(str(tmp_path / "absent.jsonl"))
+        assert scan.records == []
+        assert scan.good_end == 0
+        assert scan.torn_bytes == 0
+
+    def test_clean_lines_parse_in_order(self, tmp_path):
+        path = tmp_path / "clean.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n')
+        scan = read_jsonl(str(path))
+        assert [r["a"] for r in scan.records] == [1, 2]
+        assert scan.good_end == path.stat().st_size
+        assert scan.torn_bytes == 0
+        assert scan.skipped_lines == 0
+
+    def test_torn_tail_is_uncommitted_not_an_error(self, tmp_path):
+        """Regression: a crashed writer's partial trailing line used to
+        surface as json.JSONDecodeError in strict consumers."""
+        path = tmp_path / "torn.jsonl"
+        path.write_text('{"a": 1}\n{"a": 2}\n{"a": 3, "trunca')
+        scan = read_jsonl(str(path))  # must not raise
+        assert [r["a"] for r in scan.records] == [1, 2]
+        assert scan.torn_bytes == len('{"a": 3, "trunca')
+        assert scan.good_end == len('{"a": 1}\n{"a": 2}\n')
+
+    def test_corrupt_middle_line_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"a": 1}\nnot json at all\n{"a": 2}\n')
+        scan = read_jsonl(str(path))
+        assert [r["a"] for r in scan.records] == [1, 2]
+        assert scan.skipped_lines == 1
+
+    def test_non_dict_records_skipped(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text('[1, 2]\n"just a string"\n{"a": 1}\n')
+        scan = read_jsonl(str(path))
+        assert scan.records == [{"a": 1}]
+        assert scan.skipped_lines == 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text('{"a": 1}\n\n   \n{"a": 2}\n')
+        scan = read_jsonl(str(path))
+        assert [r["a"] for r in scan.records] == [1, 2]
+        assert scan.skipped_lines == 0
+
+
+class TestSweepJournal:
+    def test_append_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SweepJournal(path) as journal:
+            journal.append({"key": "k1", "sim": {"cycles": 1}, "stats": {}})
+            journal.append({"key": "k2", "sim": {"cycles": 2}, "stats": {}})
+        completed = SweepJournal(path).load()
+        assert set(completed) == {"k1", "k2"}
+        assert completed["k1"]["sim"] == {"cycles": 1}
+
+    def test_fresh_file_starts_with_header(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SweepJournal(path) as journal:
+            journal.append({"key": "k", "sim": {}, "stats": {}})
+        first = json.loads(open(path).readline())
+        assert first == {"journal": "repro-sweep-journal",
+                         "format": JOURNAL_FORMAT}
+
+    def test_duplicate_key_last_wins(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SweepJournal(path) as journal:
+            journal.append({"key": "k", "sim": {"cycles": 1}, "stats": {}})
+            journal.append({"key": "k", "sim": {"cycles": 2}, "stats": {}})
+        completed = SweepJournal(path).load()
+        assert completed["k"]["sim"]["cycles"] == 2
+
+    def test_records_missing_payload_are_not_replayed(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with SweepJournal(path) as journal:
+            journal.append({"key": "no-sim", "stats": {}})
+            journal.append({"key": "no-stats", "sim": {}})
+            journal.append({"key": "good", "sim": {}, "stats": {}})
+            journal.append({"sim": {}, "stats": {}})  # no key at all
+        assert set(SweepJournal(path).load()) == {"good"}
+
+    def test_incompatible_header_replays_nothing(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            '{"journal": "repro-sweep-journal", "format": 999}\n'
+            '{"key": "k", "sim": {}, "stats": {}}\n')
+        assert SweepJournal(str(path)).load() == {}
+
+    def test_append_heals_torn_tail(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with SweepJournal(str(path)) as journal:
+            journal.append({"key": "k1", "sim": {}, "stats": {}})
+        with open(path, "a") as f:
+            f.write('{"key": "k2", "sim"')  # crashed writer's partial record
+
+        journal = SweepJournal(str(path))
+        completed = journal.load()
+        assert set(completed) == {"k1"}
+        journal.append({"key": "k3", "sim": {}, "stats": {}})
+        journal.close()
+        assert journal.torn_bytes_discarded > 0
+        # The file is strict-parseable again: every line is complete JSON.
+        with open(path) as f:
+            lines = f.read().splitlines()
+        assert [json.loads(line)["key"] for line in lines[1:]] == ["k1", "k3"]
+
+    def test_close_and_reopen_preserves_all_records(self, tmp_path):
+        """Regression: reopening used to truncate back to the offset
+        remembered at the *previous* open, destroying newer appends."""
+        path = str(tmp_path / "j.jsonl")
+        journal = SweepJournal(path)
+        journal.load()
+        journal.append({"key": "k1", "sim": {}, "stats": {}})
+        journal.close()
+        journal.append({"key": "k2", "sim": {}, "stats": {}})
+        journal.close()
+        assert set(SweepJournal(path).load()) == {"k1", "k2"}
+
+    def test_missing_parent_directory_created(self, tmp_path):
+        path = str(tmp_path / "deep" / "nest" / "j.jsonl")
+        with SweepJournal(path) as journal:
+            journal.append({"key": "k", "sim": {}, "stats": {}})
+        assert set(SweepJournal(path).load()) == {"k"}
+
+
+class TestEngineResume:
+    def test_resume_replays_everything(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep()
+        first = SweepEngine(journal=path).run(sweep)
+
+        engine = SweepEngine(journal=path)
+        second = engine.run(sweep)
+        assert engine.last_journaled == len(sweep)
+        assert engine.last_simulated == 0
+        assert engine.last_trace_builds == 0
+        assert all(r.journaled for r in second)
+        assert [r.sim for r in second] == [r.sim for r in first]
+        assert [r.stats for r in second] == [r.stats for r in first]
+
+    def test_resume_is_byte_identical(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep(kernels=("comp", "addblock"))
+        first = SweepEngine(journal=path).run(sweep)
+        second = SweepEngine(journal=path).run(sweep)
+        for a, b in zip(first, second):
+            assert (json.dumps(sim_to_dict(a.sim), sort_keys=True)
+                    == json.dumps(sim_to_dict(b.sim), sort_keys=True))
+
+    def test_run_level_journal_argument(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep()
+        SweepEngine().run(sweep, journal=path)
+        engine = SweepEngine()
+        engine.run(sweep, journal=SweepJournal(path))
+        assert engine.last_journaled == len(sweep)
+
+    def test_partial_journal_simulates_only_the_rest(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        small = _sweep(ways=(1,))
+        SweepEngine(journal=path).run(small)
+
+        larger = _sweep(ways=(1, 2, 4))
+        engine = SweepEngine(journal=path)
+        results = engine.run(larger)
+        assert len(results) == len(larger)
+        assert engine.last_journaled == len(small)
+        assert engine.last_simulated == len(larger) - len(small)
+        # The journal now covers the larger sweep completely.
+        engine = SweepEngine(journal=path)
+        engine.run(larger)
+        assert engine.last_journaled == len(larger)
+
+    def test_replayed_points_do_not_touch_the_result_cache(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        cache_dir = str(tmp_path / "cache")
+        sweep = _sweep()
+        SweepEngine(cache_dir=cache_dir, journal=path).run(sweep)
+
+        engine = SweepEngine(cache_dir=cache_dir, journal=path)
+        engine.run(sweep)
+        assert engine.last_journaled == len(sweep)
+        assert engine.last_cached == 0
+        assert engine.cache.hits == 0 and engine.cache.misses == 0
+
+    def test_model_version_bump_invalidates_the_journal(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep(ways=(1,))
+        SweepEngine(journal=path).run(sweep)
+
+        engine = SweepEngine(journal=path, version="some-other-model")
+        engine.run(sweep)
+        assert engine.last_journaled == 0
+        assert engine.last_simulated == len(sweep)
+
+    def test_keep_builds_disables_journaling(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep(ways=(1,))
+        SweepEngine(journal=path).run(sweep, keep_builds=True)
+        assert not os.path.exists(path)
+
+    def test_unchecked_runs_replay_as_unchecked(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep(ways=(1,))
+        SweepEngine(check=False, journal=path).run(sweep)
+        results = SweepEngine(journal=path).run(sweep)
+        assert all(r.journaled and not r.checked for r in results)
+
+    def test_journal_write_precedes_on_result(self, tmp_path):
+        """The write-ahead property: when the callback sees a result, the
+        journal already has it — a crash in the callback loses nothing."""
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep()
+        seen = []
+
+        def on_result(result):
+            keys = set(SweepJournal(path).load())
+            assert point_key(result.point) in keys
+            seen.append(result)
+
+        SweepEngine(journal=path).run(sweep, on_result=on_result)
+        assert len(seen) == len(sweep)
+
+    def test_resume_after_torn_trailing_record(self, tmp_path):
+        """End-to-end satellite regression: a journal ending mid-record
+        (killed writer) must resume cleanly, not raise."""
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep()
+        SweepEngine(journal=path).run(sweep)
+        # Tear the last record in half, as a SIGKILL mid-write would.
+        with open(path, "rb+") as f:
+            data = f.read()
+            f.truncate(len(data) - 20)
+
+        engine = SweepEngine(journal=path)
+        results = engine.run(sweep)
+        assert len(results) == len(sweep)
+        assert engine.last_journaled == len(sweep) - 1
+        assert engine.last_simulated == 1
+        # And the healed journal is complete again.
+        engine = SweepEngine(journal=path)
+        engine.run(sweep)
+        assert engine.last_journaled == len(sweep)
+
+
+class TestCLIResume:
+    def test_sweep_resume_flag_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "j.jsonl")
+        argv = ["sweep", "--kernels", "comp", "--ways", "1", "2",
+                "--scale", "1", "--resume", path]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "from journal" not in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "8 from journal" in second
+        assert "0 point(s) simulated" in second
+        # The table flags every replayed row.
+        rows = [l for l in second.splitlines() if l.startswith("comp")]
+        assert rows and all(l.endswith("journal") for l in rows)
+
+    def test_stream_jsonl_reports_journaled(self, tmp_path, capsys):
+        journal = str(tmp_path / "j.jsonl")
+        stream = str(tmp_path / "s.jsonl")
+        argv = ["sweep", "--kernels", "comp", "--ways", "1", "--scale", "1",
+                "--resume", journal, "--stream-jsonl", stream]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        records = [json.loads(line) for line in open(stream)]
+        assert len(records) == 8
+        assert all(not r["journaled"] for r in records[:4])
+        assert all(r["journaled"] for r in records[4:])
+
+    def test_figure4_resume_flag(self, tmp_path, capsys):
+        path = str(tmp_path / "j.jsonl")
+        argv = ["figure4", "--kernels", "comp", "--ways", "1",
+                "--scale", "1", "--resume", path]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        assert "4 from journal" in capsys.readouterr().out

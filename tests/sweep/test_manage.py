@@ -196,6 +196,87 @@ class TestClear:
         assert cache_stats(str(tmp_path)).total_entries == 0
 
 
+class TestTmpFiles:
+    """Orphaned ``*.tmp`` files from interrupted atomic writes."""
+
+    def _orphan(self, root, age_seconds, name="deadbeef1234.tmp"):
+        path = os.path.join(str(root), "ab", name)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as f:
+            f.write("x" * 64)
+        past = time.time() - age_seconds
+        os.utime(path, (past, past))
+        return path
+
+    def test_stats_counts_and_classifies(self, tmp_path):
+        from repro.sweep.manage import TMP_GRACE_SECONDS
+
+        _populate(str(tmp_path))
+        before = cache_stats(str(tmp_path)).total_entries
+        self._orphan(tmp_path, age_seconds=2 * TMP_GRACE_SECONDS, name="a.tmp")
+        self._orphan(tmp_path, age_seconds=0, name="b.tmp")
+        stats = cache_stats(str(tmp_path))
+        assert stats.tmp_files == 2
+        assert stats.tmp_bytes == 128
+        assert stats.stale_tmp_files == 1
+        # Orphans are not cache entries.
+        assert stats.total_entries == before
+
+    def test_gc_sweeps_stale_orphans_even_without_bounds(self, tmp_path):
+        from repro.sweep.manage import TMP_GRACE_SECONDS
+
+        points = _populate(str(tmp_path))
+        stale = self._orphan(tmp_path, age_seconds=2 * TMP_GRACE_SECONDS,
+                             name="a.tmp")
+        young = self._orphan(tmp_path, age_seconds=0, name="b.tmp")
+        report = gc_cache(str(tmp_path))
+        assert report.removed == 0          # no bounds: no entry evicted
+        assert report.kept == 2 * points
+        assert report.tmp_removed == 1
+        assert report.tmp_bytes_freed == 64
+        assert not os.path.exists(stale)
+        assert os.path.exists(young), "in-flight writer's file untouched"
+
+    def test_gc_grace_period_is_configurable(self, tmp_path):
+        path = self._orphan(tmp_path, age_seconds=10)
+        gc_cache(str(tmp_path), tmp_grace_seconds=3600)
+        assert os.path.exists(path)
+        report = gc_cache(str(tmp_path), tmp_grace_seconds=1)
+        assert report.tmp_removed == 1
+        assert not os.path.exists(path)
+
+    def test_clear_removes_orphans_of_any_age(self, tmp_path):
+        fresh = self._orphan(tmp_path, age_seconds=0)
+        report = clear_cache(str(tmp_path))
+        assert report.tmp_removed == 1
+        assert not os.path.exists(fresh)
+
+    def test_trace_section_orphans_are_seen_too(self, tmp_path):
+        from repro.sweep.manage import TMP_GRACE_SECONDS
+
+        path = os.path.join(str(tmp_path), "traces", "cd", "x.tmp")
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        open(path, "w").write("y")
+        past = time.time() - 2 * TMP_GRACE_SECONDS
+        os.utime(path, (past, past))
+        assert cache_stats(str(tmp_path)).stale_tmp_files == 1
+        assert gc_cache(str(tmp_path)).tmp_removed == 1
+
+    def test_stats_and_gc_cli_report_orphans(self, tmp_path, capsys):
+        from repro.sweep.manage import TMP_GRACE_SECONDS
+
+        _populate(str(tmp_path))
+        self._orphan(tmp_path, age_seconds=2 * TMP_GRACE_SECONDS)
+        assert main(["cache", "stats", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "orphaned temp files: 1" in out
+        assert "1 stale (gc will sweep)" in out
+        assert main(["cache", "gc", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "evicted 0 entries" in out
+        assert "swept 1 stale temp file(s)" in out
+
+
 class TestCacheCLI:
     def test_stats_command(self, tmp_path, capsys):
         points = _populate(str(tmp_path))
