@@ -47,7 +47,21 @@ def wrap(values: np.ndarray, etype: ElementType) -> np.ndarray:
     """Wrap lane values modulo ``2**bits`` then reinterpret in ``etype``.
 
     This models ordinary (non-saturating) packed arithmetic.
+
+    Integer-dtype inputs take a pure ``int64`` fast path (bitwise mask plus
+    sign reinterpretation — exact for every 8/16/32-bit element type since
+    two's-complement truncation *is* mod-``2**bits``); anything else —
+    notably ``object`` arrays of arbitrary-precision Python ints — falls
+    back to the original arbitrary-precision path, which stays as the
+    escape hatch for lanes that overflow ``int64``.
     """
+    arr = np.asarray(values)
+    if arr.dtype.kind in "iu":
+        masked = arr.astype(np.int64, copy=False) & np.int64(etype.mask)
+        if etype.signed:
+            sign_bit = np.int64(1 << (etype.bits - 1))
+            masked = masked - ((masked & sign_bit) << 1)
+        return masked
     arr = np.asarray(values, dtype=object)
     modulo = 1 << etype.bits
     wrapped = np.mod(arr, modulo)

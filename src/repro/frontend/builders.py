@@ -1,4 +1,16 @@
-"""Convenience re-exports and factory helpers for the ISA builders."""
+"""Convenience re-exports and factory helpers for the ISA builders.
+
+All builders share :class:`~repro.frontend.scalar_builder.ScalarBuilder`'s
+block-emission primitives: ``unroll(count, body, bulk)`` records one loop
+iteration, block-appends the remaining record rows via
+``Trace.replicate_tail`` (legal because the emitted record — opcode,
+opclass, register indices, shape — is iteration-invariant for these
+loops), and delegates the middle iterations' architectural effects to a
+vectorised ``bulk`` that finishes with a ``replay`` (semantics-only,
+emission-suppressed) of the final iteration.  Emitted streams are
+byte-identical to the per-iteration loops, so block emission does NOT bump
+:data:`BUILDER_VERSION`.
+"""
 
 from __future__ import annotations
 

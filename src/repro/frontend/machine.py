@@ -36,11 +36,18 @@ class Memory:
     loops.
     """
 
+    #: Initial backing-store capacity.  ``size`` bounds the address space;
+    #: the actual allocation starts here and doubles on first touch of a
+    #: higher address, so constructing a machine does not pay for zeroing
+    #: 4 MiB it will never use (kernel working sets are a few KiB).
+    _INITIAL_CAPACITY = 1 << 16
+
     def __init__(self, size: int = 4 << 20) -> None:
         self.size = size
-        self._data = bytearray(size)
+        self._data = bytearray(min(size, self._INITIAL_CAPACITY))
         #: NumPy view sharing the bytearray's buffer (writes through either
-        #: are visible to both; the bytearray never resizes).
+        #: are visible to both; the bytearray is replaced wholesale — never
+        #: resized in place — when the store grows, and the view with it).
         self._view = np.frombuffer(self._data, dtype=np.uint8)
         self._brk = 64  # keep address 0 unused to catch null-pointer bugs
 
@@ -60,8 +67,27 @@ class Memory:
     # -- raw access -------------------------------------------------------
 
     def _check(self, addr: int, nbytes: int) -> None:
-        if addr < 0 or addr + nbytes > self.size:
-            raise IndexError(f"memory access out of range: [{addr}, {addr + nbytes})")
+        end = addr + nbytes
+        if addr < 0 or end > self.size:
+            raise IndexError(f"memory access out of range: [{addr}, {end})")
+        if end > len(self._data):
+            self._grow(end)
+
+    def _grow(self, needed: int) -> None:
+        """Double the backing store until it covers ``needed`` bytes.
+
+        The final capacity depends only on the highest address touched
+        (doubling from a fixed start), not on the access order, so two
+        machines running the same kernel end up with byte-equal stores.
+        """
+        capacity = len(self._data)
+        while capacity < needed:
+            capacity *= 2
+        capacity = min(capacity, self.size)
+        data = bytearray(capacity)
+        data[: len(self._data)] = self._data
+        self._data = data
+        self._view = np.frombuffer(self._data, dtype=np.uint8)
 
     def read_bytes(self, addr: int, nbytes: int) -> bytes:
         self._check(addr, nbytes)
@@ -121,6 +147,38 @@ class Memory:
         lanes = np.frombuffer(self._data, dtype=_lane_dtype(etype),
                               count=count, offset=addr)
         return lanes.astype(np.int64)
+
+    def read_words_strided(self, addr: int, step: int, count: int) -> list[int]:
+        """Read ``count`` little-endian 64-bit words, ``step`` bytes apart.
+
+        The vectorised form of the MOM strided matrix load: one gather over
+        the byte view instead of a Python loop of :meth:`read_uint` calls.
+        """
+        if count <= 0:
+            return []
+        self._check(addr, 8)
+        self._check(addr + step * (count - 1), 8)
+        if step == 8:
+            rows = self._view[addr : addr + 8 * count]
+        else:
+            idx = (addr + step * np.arange(count))[:, None] + np.arange(8)
+            rows = self._view[idx]
+        return [int(w) for w in rows.reshape(count, 8).view("<u8").reshape(-1)]
+
+    def write_words_strided(self, addr: int, step: int,
+                            words: "list[int]") -> None:
+        """Write 64-bit words at ``addr``, ``step`` bytes apart (strided store)."""
+        count = len(words)
+        if count <= 0:
+            return
+        self._check(addr, 8)
+        self._check(addr + step * (count - 1), 8)
+        rows = np.asarray(words, dtype="<u8").view(np.uint8).reshape(count, 8)
+        if step == 8:
+            self._view[addr : addr + 8 * count] = rows.reshape(-1)
+        else:
+            idx = (addr + step * np.arange(count))[:, None] + np.arange(8)
+            self._view[idx] = rows
 
     def alloc_array(self, array: np.ndarray, etype: ElementType, align: int = 64) -> int:
         """Allocate space for ``array`` and write it; returns the address."""

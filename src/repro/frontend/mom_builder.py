@@ -14,7 +14,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.datatypes import ElementType, U8, S16, pack_word, unpack_word
+from repro.common.datatypes import (
+    ElementType,
+    U8,
+    S16,
+    pack_planes,
+    unpack_word_fast,
+)
 from repro.frontend.scalar_builder import ScalarBuilder, _ref_int
 from repro.isa import accum, matrixops, simdops
 from repro.isa.opclasses import OpClass, RegFile
@@ -95,12 +101,8 @@ class MOMBuilder(ScalarBuilder):
         ``base`` and ``stride`` are scalar register indices, as in the
         paper's ``mom_ldq MRi <- Rj, Rk``.
         """
-        addr = self.regs.read(base)
-        step = self.regs.read(stride)
-        rows = []
-        for _ in range(self.vl):
-            rows.append(self.memory.read_uint(addr, 8))
-            addr += step
+        rows = self.memory.read_words_strided(
+            self.regs.read(base), self.regs.read(stride), self.vl)
         self.mr.write(mrd, rows + [0] * (MAX_MATRIX_ROWS - len(rows)))
         self._emit_matrix("mom_ldq", OpClass.MEDIA_LOAD,
                           (_ref_int(base), _ref_int(stride)), (_ref_mr(mrd),), etype)
@@ -108,12 +110,9 @@ class MOMBuilder(ScalarBuilder):
     def mom_st(self, mrs: int, base: int, stride: int,
                etype: ElementType = U8) -> None:
         """Strided matrix store of the first VL rows."""
-        addr = self.regs.read(base)
-        step = self.regs.read(stride)
-        rows = self.mr.read(mrs)
-        for row in range(self.vl):
-            self.memory.write_uint(addr, rows[row], 8)
-            addr += step
+        self.memory.write_words_strided(
+            self.regs.read(base), self.regs.read(stride),
+            self.mr.read(mrs)[: self.vl])
         self._emit_matrix("mom_stq", OpClass.MEDIA_STORE,
                           (_ref_mr(mrs), _ref_int(base), _ref_int(stride)), (), etype)
 
@@ -123,7 +122,7 @@ class MOMBuilder(ScalarBuilder):
         arr = np.asarray(matrix)
         if arr.ndim == 1:
             arr = arr.reshape(1, -1)
-        rows = [pack_word(np.asarray(row) & etype.mask, etype) for row in arr]
+        rows = [int(w) for w in pack_planes(arr, etype)]
         self.mr.write(mrd, rows + [0] * (MAX_MATRIX_ROWS - len(rows)))
         self._emit_matrix("mom_ld_const", OpClass.MEDIA_LOAD, (), (_ref_mr(mrd),),
                           etype, vly=len(rows))
@@ -154,7 +153,7 @@ class MOMBuilder(ScalarBuilder):
     def mom_extract(self, rd: int, mrs: int, row: int, lane: int,
                     etype: ElementType) -> None:
         """Extract one element into a scalar register."""
-        lanes = unpack_word(self.mr.read_row(mrs, row), etype)
+        lanes = unpack_word_fast(self.mr.read_row(mrs, row), etype)
         self.regs.write(rd, int(lanes[lane]))
         self._emit_matrix("mom_extract", OpClass.MEDIA_MISC, (_ref_mr(mrs),),
                           (_ref_int(rd),), None, ops=1, vly=1)
@@ -166,21 +165,30 @@ class MOMBuilder(ScalarBuilder):
     def _matrix_binop(self, opcode: str, opclass: OpClass, mrd: int, mra: int,
                       mrb: int, etype: ElementType, fn, *args,
                       rowbcast: bool = False, **kwargs) -> None:
-        a_rows = self.mr.read(mra)
+        # The simdops functions are array-polymorphic: one call over a
+        # (vl,) word array applies the packed op to every dimension-Y row
+        # (the per-row loop lives on as matrixops.map_rows, the pinned
+        # reference used by the differential tests).
+        vl = self.vl
+        aw = np.asarray(self.mr.read(mra)[:vl], dtype=np.uint64)
         if rowbcast:
-            b_word = self.mr.read_row(mrb, 0)
-            out = matrixops.map_rows_scalar_operand(fn, a_rows, b_word, self.vl,
-                                                    *args, **kwargs)
+            bw = np.full(vl, self.mr.read_row(mrb, 0), dtype=np.uint64)
         else:
-            b_rows = self.mr.read(mrb)
-            out = matrixops.map_rows(fn, a_rows, b_rows, self.vl, *args, **kwargs)
+            bw = np.asarray(self.mr.read(mrb)[:vl], dtype=np.uint64)
+        res = fn(aw, bw, *args, **kwargs)
+        out = [0] * MAX_MATRIX_ROWS
+        out[:vl] = [int(w) for w in res]
         self.mr.write(mrd, out)
         self._emit_matrix(opcode, opclass, (_ref_mr(mra), _ref_mr(mrb)),
                           (_ref_mr(mrd),), etype)
 
     def _matrix_unop(self, opcode: str, opclass: OpClass, mrd: int, mra: int,
                      etype: ElementType, fn, *args, **kwargs) -> None:
-        out = matrixops.map_rows(fn, self.mr.read(mra), None, self.vl, *args, **kwargs)
+        vl = self.vl
+        aw = np.asarray(self.mr.read(mra)[:vl], dtype=np.uint64)
+        res = fn(aw, *args, **kwargs)
+        out = [0] * MAX_MATRIX_ROWS
+        out[:vl] = [int(w) for w in res]
         self.mr.write(mrd, out)
         self._emit_matrix(opcode, opclass, (_ref_mr(mra),), (_ref_mr(mrd),), etype)
 

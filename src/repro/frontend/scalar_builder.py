@@ -13,6 +13,7 @@ Every emit method executes its semantics against the shared
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional, Sequence
 
 from repro.frontend.machine import FunctionalMachine
@@ -72,6 +73,81 @@ class ScalarBuilder:
         # DynInstr; an object-mode trace builds the instruction there.
         self.trace.emit(opcode, opclass, tuple(srcs), tuple(dsts), ops,
                         vlx, vly, is_vector, non_pipelined, self.isa_name)
+
+    # ------------------------------------------------------------------
+    # block emission
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def _suppress_emission(self):
+        """Run builder semantics without recording any instructions.
+
+        Shadows :meth:`_emit` with a no-op *instance* attribute, so every
+        emission helper (``_emit_media`` and ``_emit_matrix`` in the
+        subclasses funnel through it) goes quiet while register, memory
+        and accumulator updates still happen.  Nesting is safe: only the
+        outermost context removes the shadow.
+        """
+        already = "_emit" in self.__dict__
+        if not already:
+            self.__dict__["_emit"] = lambda *args, **kwargs: None
+        try:
+            yield
+        finally:
+            if not already:
+                del self.__dict__["_emit"]
+
+    def replay(self, body, iteration: int) -> None:
+        """Execute ``body(iteration)`` with emission suppressed.
+
+        The closing step of a :meth:`unroll` ``bulk``: running the *last*
+        iteration's semantics silently reproduces every loop-carried
+        register, accumulator and matrix value exactly, so the bulk only
+        has to vectorise the middle iterations' memory effects.
+        """
+        with self._suppress_emission():
+            body(iteration)
+
+    def unroll(self, count: int, body, bulk=None) -> None:
+        """Emit ``count`` iterations of a kernel loop as one record block.
+
+        ``body(i)`` must emit an *iteration-invariant* record sequence —
+        the same opcodes, op counts and register indices every iteration.
+        Immediates, addresses and data values may differ freely: emitted
+        records carry none of them.  Loops that rotate register numbers
+        per iteration cannot use this helper.
+
+        On a column-mode trace the builder runs ``body(0)`` normally,
+        replicates its record block ``count - 1`` times in the columns
+        (:meth:`~repro.trace.container.Trace.replicate_tail`), then calls
+        ``bulk(1, count)`` to apply the remaining iterations' semantics in
+        one step.  ``bulk(lo, hi)`` must leave memory and every register
+        file exactly as running ``body(lo) .. body(hi - 1)`` would —
+        typically vectorised NumPy writes for the middle iterations'
+        memory effects followed by ``self.replay(body, hi - 1)`` for the
+        loop-carried state.
+
+        Without ``bulk``, with ``count == 1``, or on an object-mode trace,
+        every iteration runs through ``body`` — the per-iteration
+        reference path that the column/object equivalence tests pin the
+        block path against.
+        """
+        if count <= 0:
+            return
+        # Inside a replay (suppressed emission) nothing is recorded, so a
+        # nested unroll takes the bulk shortcut without touching the trace
+        # — the semantics of all ``count`` iterations at body(0)+bulk cost.
+        suppressed = "_emit" in self.__dict__
+        if bulk is None or count == 1 or (
+                self.trace.columns is None and not suppressed):
+            for i in range(count):
+                body(i)
+            return
+        start = len(self.trace)
+        body(0)
+        if not suppressed:
+            self.trace.replicate_tail(start, count - 1)
+        bulk(1, count)
 
     # ------------------------------------------------------------------
     # immediates and moves

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.common.datatypes import ElementType, unpack_word, pack_word
+from repro.common.datatypes import ElementType, pack_word, unpack_word_fast
 from repro.common.saturate import saturate
 
 __all__ = [
@@ -40,7 +40,10 @@ def acc_zero(lanes: int) -> np.ndarray:
 
 
 def _lanes(word: int, etype: ElementType) -> np.ndarray:
-    return unpack_word(word, etype).astype(object)
+    # int64 lanes are exact here: every per-lane product/difference of
+    # 8/16/32-bit lanes fits int64, and accumulation happens in the object
+    # arrays below (unbounded Python ints), so nothing can overflow.
+    return unpack_word_fast(word, etype)
 
 
 def acc_mul_add(acc: np.ndarray, a: int, b: int, etype: ElementType) -> np.ndarray:

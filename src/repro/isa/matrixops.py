@@ -6,6 +6,12 @@ MMX-like operations.  The helpers here map the single-word semantics from
 :mod:`repro.isa.simdops` across rows, and add the operations that only make
 sense at matrix granularity: strided loads/stores, the matrix transpose and
 the pipelined dimension-Y reductions into packed accumulators.
+
+The transpose and reduction helpers (and the MOM builder's row-mapped ops)
+process all ``vl`` rows as one ``(vl, lanes)`` lane plane per operand —
+one NumPy call instead of a Python loop per row.  :func:`map_rows` /
+:func:`map_rows_scalar_operand` keep the original per-row loop as the
+pinned reference path for the differential tests.
 """
 
 from __future__ import annotations
@@ -14,7 +20,11 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.common.datatypes import ElementType, unpack_word, pack_word
+from repro.common.datatypes import (
+    ElementType,
+    pack_planes,
+    unpack_planes,
+)
 from repro.isa import simdops
 from repro.isa.registers import MAX_MATRIX_ROWS
 
@@ -87,14 +97,13 @@ def transpose(rows: Sequence[int], etype: ElementType, vl: int) -> list[int]:
     """
     if not 1 <= vl <= MAX_MATRIX_ROWS:
         raise ValueError(f"vector length {vl} out of range")
-    lanes = np.stack([unpack_word(rows[r], etype) for r in range(vl)])
-    transposed = lanes.T  # shape (etype.lanes, vl)
+    lanes = unpack_planes(np.asarray(rows[:vl], dtype=np.uint64), etype)
+    count = min(vl, etype.lanes)
+    padded = np.zeros((etype.lanes, etype.lanes), dtype=np.int64)
+    padded[:, :count] = lanes.T[:, :count]  # shape (etype.lanes, vl)
+    words = pack_planes(padded, etype)
     out = [0] * MAX_MATRIX_ROWS
-    for row in range(transposed.shape[0]):
-        padded = np.zeros(etype.lanes, dtype=np.int64)
-        count = min(transposed.shape[1], etype.lanes)
-        padded[:count] = transposed[row, :count]
-        out[row] = pack_word(padded, etype)
+    out[: etype.lanes] = [int(w) for w in words]
     return out
 
 
@@ -116,29 +125,30 @@ def transpose_pair(
         raise ValueError(
             f"transpose_pair requires a square matrix (vl == {width}), got vl={vl}"
         )
-    full = np.empty((vl, width), dtype=np.int64)
-    for row in range(vl):
-        full[row, : etype.lanes] = unpack_word(lo_rows[row], etype)
-        full[row, etype.lanes :] = unpack_word(hi_rows[row], etype)
-    flipped = full.T
+    flipped = np.concatenate(
+        [unpack_planes(np.asarray(lo_rows[:vl], dtype=np.uint64), etype),
+         unpack_planes(np.asarray(hi_rows[:vl], dtype=np.uint64), etype)],
+        axis=1,
+    ).T  # square: shape (width, vl) == (vl, width)
+    lo_words = pack_planes(flipped[:, : etype.lanes], etype)
+    hi_words = pack_planes(flipped[:, etype.lanes :], etype)
     lo_out = [0] * MAX_MATRIX_ROWS
     hi_out = [0] * MAX_MATRIX_ROWS
-    for row in range(width):
-        lo_out[row] = pack_word(flipped[row, : etype.lanes], etype)
-        hi_out[row] = pack_word(flipped[row, etype.lanes :], etype)
+    lo_out[:width] = [int(w) for w in lo_words]
+    hi_out[:width] = [int(w) for w in hi_words]
     return lo_out, hi_out
 
 
 def rows_to_matrix(rows: Sequence[int], etype: ElementType, vl: int) -> np.ndarray:
     """Unpack matrix-register rows into a (vl, lanes) NumPy matrix."""
-    return np.stack([unpack_word(rows[r], etype) for r in range(vl)])
+    return unpack_planes(np.asarray(rows[:vl], dtype=np.uint64), etype)
 
 
 def matrix_to_rows(matrix: np.ndarray, etype: ElementType) -> list[int]:
     """Pack a (rows, lanes) matrix into matrix-register words (zero padded)."""
+    matrix = np.asarray(matrix)
     out = [0] * MAX_MATRIX_ROWS
-    for row in range(matrix.shape[0]):
-        out[row] = pack_word(matrix[row], etype)
+    out[: matrix.shape[0]] = [int(w) for w in pack_planes(matrix, etype)]
     return out
 
 
@@ -155,11 +165,16 @@ def reduce_mul_add(
     MOM instruction performs the whole dimension-Y reduction, pipelined in
     hardware (section 3.1), so there is no per-row architectural recurrence.
     """
+    la = unpack_planes(np.asarray(a_rows[:vl], dtype=np.uint64), etype)
+    lb = unpack_planes(np.asarray(b_rows[:vl], dtype=np.uint64), etype)
+    if etype.bits == 32:
+        # 32-bit products summed over up to 16 rows can overflow int64;
+        # take the arbitrary-precision escape hatch.
+        sums = (la.astype(object) * lb.astype(object)).sum(axis=0)
+    else:
+        sums = (la * lb).sum(axis=0)
     out = acc.astype(object).copy()
-    for row in range(vl):
-        la = unpack_word(a_rows[row], etype).astype(object)
-        lb = unpack_word(b_rows[row], etype).astype(object)
-        out[: etype.lanes] = out[: etype.lanes] + la * lb
+    out[: etype.lanes] = out[: etype.lanes] + sums
     return out
 
 
@@ -167,10 +182,9 @@ def reduce_add(
     acc: np.ndarray, a_rows: Sequence[int], etype: ElementType, vl: int
 ) -> np.ndarray:
     """``acc[lane] += sum_over_rows(a[row][lane])``."""
+    sums = unpack_planes(np.asarray(a_rows[:vl], dtype=np.uint64), etype).sum(axis=0)
     out = acc.astype(object).copy()
-    for row in range(vl):
-        la = unpack_word(a_rows[row], etype).astype(object)
-        out[: etype.lanes] = out[: etype.lanes] + la
+    out[: etype.lanes] = out[: etype.lanes] + sums
     return out
 
 
@@ -185,11 +199,11 @@ def reduce_abs_diff_add(
 
     Used by the motion-estimation kernels (sum of absolute differences).
     """
+    la = unpack_planes(np.asarray(a_rows[:vl], dtype=np.uint64), etype)
+    lb = unpack_planes(np.asarray(b_rows[:vl], dtype=np.uint64), etype)
+    sums = np.abs(la - lb).sum(axis=0)
     out = acc.astype(object).copy()
-    for row in range(vl):
-        la = unpack_word(a_rows[row], etype).astype(object)
-        lb = unpack_word(b_rows[row], etype).astype(object)
-        out[: etype.lanes] = out[: etype.lanes] + abs(la - lb)
+    out[: etype.lanes] = out[: etype.lanes] + sums
     return out
 
 

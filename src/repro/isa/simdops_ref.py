@@ -1,0 +1,275 @@
+"""Pinned scalar reference for the packed-operation semantics.
+
+This module is the original per-word implementation of
+:mod:`repro.isa.simdops`, retained verbatim as the executable specification:
+every function takes 64-bit packed words as Python ints, round-trips them
+through the per-lane :func:`~repro.common.datatypes.unpack_word` /
+:func:`~repro.common.datatypes.pack_word` loops, and computes lane results
+with arbitrary-precision ``object`` arrays.  It is deliberately slow and
+obvious.
+
+The production :mod:`repro.isa.simdops` is a vectorised lane-plane rewrite
+of these semantics; the differential suites in ``tests/isa`` pin the two
+against each other bit for bit (including at lane extremes and through the
+object-dtype overflow escape hatch).  Fix semantics *here first*, then make
+the fast path match.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.datatypes import (
+    ElementType,
+    U8,
+    U16,
+    S16,
+    S32,
+    WORD_MASK,
+    unpack_word,
+    pack_word,
+)
+from repro.common.saturate import saturate, wrap
+
+__all__ = [
+    "padd",
+    "psub",
+    "pmull",
+    "pmulh",
+    "pmadd",
+    "psad",
+    "pabsdiff",
+    "pavg",
+    "pmin",
+    "pmax",
+    "pcmpeq",
+    "pcmpgt",
+    "pand",
+    "pandn",
+    "por",
+    "pxor",
+    "psll",
+    "psrl",
+    "psra",
+    "packss",
+    "packus",
+    "punpckl",
+    "punpckh",
+    "pshift_scale",
+    "splat",
+    "pzero",
+]
+
+
+def _narrow(values: np.ndarray, etype: ElementType, saturating: str) -> np.ndarray:
+    """Reduce arbitrary-precision lane results back to ``etype`` lanes."""
+    if saturating == "wrap":
+        return wrap(values, etype)
+    if saturating == "sat":
+        return saturate(np.asarray(values, dtype=object), etype).astype(np.int64)
+    raise ValueError(f"unknown narrowing mode {saturating!r}")
+
+
+def padd(a: int, b: int, etype: ElementType, saturating: str = "wrap") -> int:
+    """Packed add.  ``saturating`` is ``"wrap"`` or ``"sat"``."""
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    return pack_word(_narrow(la + lb, etype, saturating), etype)
+
+
+def psub(a: int, b: int, etype: ElementType, saturating: str = "wrap") -> int:
+    """Packed subtract."""
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    return pack_word(_narrow(la - lb, etype, saturating), etype)
+
+
+def pmull(a: int, b: int, etype: ElementType) -> int:
+    """Packed multiply, keep the low ``etype.bits`` bits of each product."""
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    return pack_word(wrap(la * lb, etype), etype)
+
+
+def pmulh(a: int, b: int, etype: ElementType, rounding: bool = False) -> int:
+    """Packed multiply, keep the high ``etype.bits`` bits of each product.
+
+    With ``rounding`` the MMX ``pmulhrw``-style rounding constant is added
+    before the shift.
+    """
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    prod = la * lb
+    if rounding:
+        prod = prod + (1 << (etype.bits - 1))
+    high = prod >> etype.bits
+    return pack_word(wrap(high, etype), etype)
+
+
+def pmadd(a: int, b: int, etype: ElementType = S16) -> int:
+    """MMX ``pmaddwd``: multiply lanes and add adjacent pairs.
+
+    The results are double-width lanes (e.g. four 16-bit products collapse
+    into two 32-bit sums).
+    """
+    if etype.bits * 2 > 64:
+        raise ValueError("pmadd requires element width <= 32 bits")
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    prod = la * lb
+    pairs = prod.reshape(-1, 2).sum(axis=1)
+    wide = ElementType(etype.bits * 2, signed=True)
+    return pack_word(wrap(pairs, wide), wide)
+
+
+def pabsdiff(a: int, b: int, etype: ElementType = U8) -> int:
+    """Packed absolute difference, lane by lane."""
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    return pack_word(_narrow(abs(la - lb), etype, "sat"), etype)
+
+
+def psad(a: int, b: int, etype: ElementType = U8) -> int:
+    """MMX ``psadbw``: sum of absolute differences across all lanes.
+
+    The scalar sum is returned in lane 0 of a 32-bit-lane word (upper lanes
+    zero), mirroring the SSE definition.
+    """
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    total = int(np.sum(abs(la - lb)))
+    return pack_word([total & 0xFFFFFFFF, 0], ElementType(32, signed=False))
+
+
+def pavg(a: int, b: int, etype: ElementType = U8) -> int:
+    """Packed average with round-half-up: ``(a + b + 1) >> 1``."""
+    la = unpack_word(a, etype).astype(object)
+    lb = unpack_word(b, etype).astype(object)
+    avg = (la + lb + 1) >> 1
+    return pack_word(_narrow(avg, etype, "sat"), etype)
+
+
+def pmin(a: int, b: int, etype: ElementType) -> int:
+    la = unpack_word(a, etype)
+    lb = unpack_word(b, etype)
+    return pack_word(np.minimum(la, lb), etype)
+
+
+def pmax(a: int, b: int, etype: ElementType) -> int:
+    la = unpack_word(a, etype)
+    lb = unpack_word(b, etype)
+    return pack_word(np.maximum(la, lb), etype)
+
+
+def pcmpeq(a: int, b: int, etype: ElementType) -> int:
+    """Packed compare-equal: all-ones mask in lanes where ``a == b``."""
+    la = unpack_word(a, etype)
+    lb = unpack_word(b, etype)
+    mask = np.where(la == lb, etype.mask, 0)
+    return pack_word(mask, ElementType(etype.bits, signed=False))
+
+
+def pcmpgt(a: int, b: int, etype: ElementType) -> int:
+    """Packed compare-greater-than (signed by element type)."""
+    la = unpack_word(a, etype)
+    lb = unpack_word(b, etype)
+    mask = np.where(la > lb, etype.mask, 0)
+    return pack_word(mask, ElementType(etype.bits, signed=False))
+
+
+def pand(a: int, b: int) -> int:
+    return (a & b) & WORD_MASK
+
+
+def pandn(a: int, b: int) -> int:
+    """``(~a) & b`` — the MMX operand order."""
+    return (~a & b) & WORD_MASK
+
+
+def por(a: int, b: int) -> int:
+    return (a | b) & WORD_MASK
+
+
+def pxor(a: int, b: int) -> int:
+    return (a ^ b) & WORD_MASK
+
+
+def psll(a: int, shift: int, etype: ElementType) -> int:
+    """Packed shift left logical by an immediate count."""
+    la = unpack_word(a, ElementType(etype.bits, signed=False)).astype(object)
+    return pack_word(wrap(la << shift, etype), etype)
+
+
+def psrl(a: int, shift: int, etype: ElementType) -> int:
+    """Packed shift right logical (zero fill)."""
+    la = unpack_word(a, ElementType(etype.bits, signed=False)).astype(object)
+    return pack_word(la >> shift, ElementType(etype.bits, signed=False))
+
+
+def psra(a: int, shift: int, etype: ElementType) -> int:
+    """Packed shift right arithmetic (sign fill)."""
+    la = unpack_word(a, ElementType(etype.bits, signed=True)).astype(object)
+    return pack_word(wrap(la >> shift, etype), etype)
+
+
+def packss(a: int, b: int, src_etype: ElementType) -> int:
+    """Pack two words of wide lanes into one word of half-width signed lanes
+    with signed saturation (MMX ``packsswb`` / ``packssdw``)."""
+    narrow = ElementType(src_etype.bits // 2, signed=True)
+    la = unpack_word(a, src_etype)
+    lb = unpack_word(b, src_etype)
+    lanes = np.concatenate([la, lb]).astype(object)
+    return pack_word(saturate(lanes, narrow).astype(np.int64), narrow)
+
+
+def packus(a: int, b: int, src_etype: ElementType) -> int:
+    """Pack with unsigned saturation (MMX ``packuswb``)."""
+    narrow = ElementType(src_etype.bits // 2, signed=False)
+    la = unpack_word(a, src_etype)
+    lb = unpack_word(b, src_etype)
+    lanes = np.concatenate([la, lb]).astype(object)
+    return pack_word(saturate(lanes, narrow).astype(np.int64), narrow)
+
+
+def punpckl(a: int, b: int, etype: ElementType) -> int:
+    """Interleave the low halves of two packed words (MMX ``punpckl*``)."""
+    la = unpack_word(a, ElementType(etype.bits, signed=False))
+    lb = unpack_word(b, ElementType(etype.bits, signed=False))
+    half = etype.lanes // 2
+    out = np.empty(etype.lanes, dtype=np.int64)
+    out[0::2] = la[:half]
+    out[1::2] = lb[:half]
+    return pack_word(out, ElementType(etype.bits, signed=False))
+
+
+def punpckh(a: int, b: int, etype: ElementType) -> int:
+    """Interleave the high halves of two packed words (MMX ``punpckh*``)."""
+    la = unpack_word(a, ElementType(etype.bits, signed=False))
+    lb = unpack_word(b, ElementType(etype.bits, signed=False))
+    half = etype.lanes // 2
+    out = np.empty(etype.lanes, dtype=np.int64)
+    out[0::2] = la[half:]
+    out[1::2] = lb[half:]
+    return pack_word(out, ElementType(etype.bits, signed=False))
+
+
+def pshift_scale(a: int, shift: int, etype: ElementType, saturating: str = "wrap") -> int:
+    """Arithmetic right shift with round-half-up, per lane (DSP descale)."""
+    la = unpack_word(a, ElementType(etype.bits, signed=True)).astype(object)
+    if shift > 0:
+        la = (la + (1 << (shift - 1))) >> shift
+    return pack_word(_narrow(la, etype, saturating), etype)
+
+
+def splat(value: int, etype: ElementType) -> int:
+    """Broadcast a scalar into every lane of a packed word."""
+    lane = int(value) & etype.mask
+    word = 0
+    for i in range(etype.lanes):
+        word |= lane << (i * etype.bits)
+    return word
+
+
+def pzero() -> int:
+    """The all-zero packed word."""
+    return 0

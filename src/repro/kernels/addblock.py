@@ -57,18 +57,36 @@ class AddBlockKernel(Kernel):
         flat = b.machine.read_array(out_addr, blocks * _PRED_BYTES, U8)
         return flat.reshape(blocks, _BLOCK, _BLOCK)
 
+    def _expected(self, b, pred_addr: int, resid_addr: int,
+                  blk: int) -> np.ndarray:
+        """The clipped residual-add of block ``blk`` from machine memory."""
+        pred = b.machine.read_array(pred_addr + blk * _PRED_BYTES,
+                                    _PRED_BYTES, U8).reshape(_BLOCK, _BLOCK)
+        resid = b.machine.read_array(resid_addr + blk * _RESID_BYTES,
+                                     _BLOCK * _BLOCK, S16).reshape(_BLOCK, _BLOCK)
+        return np.clip(pred + resid, 0, 255)
+
+    def _bulk_blocks(self, b, pred_addr: int, resid_addr: int, out_addr: int,
+                     lo: int, hi: int) -> None:
+        for blk in range(lo, hi - 1):
+            b.machine.memory.write_array(
+                out_addr + blk * _PRED_BYTES,
+                self._expected(b, pred_addr, resid_addr, blk), U8)
+
     # -- scalar ---------------------------------------------------------
 
     def build_scalar(self, b, workload) -> np.ndarray:
         pred_addr, resid_addr, out_addr = self._setup(b, workload)
         blocks = workload["blocks"]
         R_P, R_R, R_OUT, R_CNT, R_X, R_Y, R_S = 1, 2, 3, 4, 5, 6, 7
-        for blk in range(blocks):
+
+        def block_body(blk: int) -> None:
             b.li(R_P, pred_addr + blk * _PRED_BYTES)
             b.li(R_R, resid_addr + blk * _RESID_BYTES)
             b.li(R_OUT, out_addr + blk * _PRED_BYTES)
             b.li(R_CNT, _BLOCK)
-            for _row in range(_BLOCK):
+
+            def row_body(_row: int) -> None:
                 for col in range(_BLOCK):
                     b.ldbu(R_X, R_P, col)
                     b.ldw(R_Y, R_R, col * 2)
@@ -80,6 +98,25 @@ class AddBlockKernel(Kernel):
                 b.addi(R_OUT, R_OUT, _BLOCK)
                 b.subi(R_CNT, R_CNT, 1)
                 b.branch(R_CNT, "bgt")
+
+            def row_bulk(lo: int, hi: int) -> None:
+                vals = self._expected(b, pred_addr, resid_addr, blk)
+                last = hi - 1
+                b.machine.memory.write_array(
+                    out_addr + blk * _PRED_BYTES + lo * _BLOCK,
+                    vals[lo:last], U8)
+                b.regs.write(R_P, pred_addr + blk * _PRED_BYTES + last * _BLOCK)
+                b.regs.write(R_R, resid_addr + blk * _RESID_BYTES + last * _BLOCK * 2)
+                b.regs.write(R_OUT, out_addr + blk * _PRED_BYTES + last * _BLOCK)
+                b.regs.write(R_CNT, _BLOCK - last)
+                b.replay(row_body, last)
+
+            b.unroll(_BLOCK, row_body, row_bulk)
+
+        b.unroll(blocks, block_body,
+                 lambda lo, hi: (self._bulk_blocks(b, pred_addr, resid_addr,
+                                                   out_addr, lo, hi),
+                                 b.replay(block_body, hi - 1)))
         return self._read_output(b, out_addr, blocks)
 
     # -- MMX / MDMX --------------------------------------------------------
@@ -90,12 +127,14 @@ class AddBlockKernel(Kernel):
         R_P, R_R, R_OUT, R_CNT = 1, 2, 3, 4
         MM_ZERO = 31
         b.pzero(MM_ZERO)
-        for blk in range(blocks):
+
+        def block_body(blk: int) -> None:
             b.li(R_P, pred_addr + blk * _PRED_BYTES)
             b.li(R_R, resid_addr + blk * _RESID_BYTES)
             b.li(R_OUT, out_addr + blk * _PRED_BYTES)
             b.li(R_CNT, _BLOCK)
-            for _row in range(_BLOCK):
+
+            def row_body(_row: int) -> None:
                 b.movq_ld(0, R_P, 0, U8)
                 # zero-extend prediction bytes to 16 bits
                 b.punpckl(1, 0, MM_ZERO, U8)
@@ -112,6 +151,25 @@ class AddBlockKernel(Kernel):
                 b.addi(R_OUT, R_OUT, _BLOCK)
                 b.subi(R_CNT, R_CNT, 1)
                 b.branch(R_CNT, "bgt")
+
+            def row_bulk(lo: int, hi: int) -> None:
+                vals = self._expected(b, pred_addr, resid_addr, blk)
+                last = hi - 1
+                b.machine.memory.write_array(
+                    out_addr + blk * _PRED_BYTES + lo * _BLOCK,
+                    vals[lo:last], U8)
+                b.regs.write(R_P, pred_addr + blk * _PRED_BYTES + last * _BLOCK)
+                b.regs.write(R_R, resid_addr + blk * _RESID_BYTES + last * _BLOCK * 2)
+                b.regs.write(R_OUT, out_addr + blk * _PRED_BYTES + last * _BLOCK)
+                b.regs.write(R_CNT, _BLOCK - last)
+                b.replay(row_body, last)
+
+            b.unroll(_BLOCK, row_body, row_bulk)
+
+        b.unroll(blocks, block_body,
+                 lambda lo, hi: (self._bulk_blocks(b, pred_addr, resid_addr,
+                                                   out_addr, lo, hi),
+                                 b.replay(block_body, hi - 1)))
         return self._read_output(b, out_addr, blocks)
 
     def build_mmx(self, b, workload) -> np.ndarray:
@@ -131,7 +189,8 @@ class AddBlockKernel(Kernel):
         b.li(R_RS, _BLOCK * 2)      # residual row stride (bytes)
         b.setvl(_BLOCK)
         b.mom_zero(MR_ZERO)
-        for blk in range(blocks):
+
+        def body(blk: int) -> None:
             b.li(R_P, pred_addr + blk * _PRED_BYTES)
             b.li(R_R, resid_addr + blk * _RESID_BYTES)
             b.li(R_OUT, out_addr + blk * _PRED_BYTES)
@@ -145,4 +204,9 @@ class AddBlockKernel(Kernel):
             b.mom_padd(2, 2, 4, S16)
             b.mom_packus(5, 1, 2, S16)
             b.mom_st(5, R_OUT, R_PS, U8)
+
+        b.unroll(blocks, body,
+                 lambda lo, hi: (self._bulk_blocks(b, pred_addr, resid_addr,
+                                                   out_addr, lo, hi),
+                                 b.replay(body, hi - 1)))
         return self._read_output(b, out_addr, blocks)

@@ -53,18 +53,35 @@ class CompensationKernel(Kernel):
         flat = b.machine.read_array(out_addr, blocks * _BLOCK_BYTES, U8)
         return flat.reshape(blocks, _BLOCK, _BLOCK)
 
+    def _expected(self, b, a_addr: int, b_addr: int, blk: int) -> np.ndarray:
+        """The blended block ``blk`` recomputed from machine memory."""
+        av = b.machine.read_array(a_addr + blk * _BLOCK_BYTES,
+                                  _BLOCK_BYTES, U8).reshape(_BLOCK, _BLOCK)
+        bv = b.machine.read_array(b_addr + blk * _BLOCK_BYTES,
+                                  _BLOCK_BYTES, U8).reshape(_BLOCK, _BLOCK)
+        return (av + bv + 1) >> 1
+
+    def _bulk_blocks(self, b, a_addr: int, b_addr: int, out_addr: int,
+                     lo: int, hi: int) -> None:
+        for blk in range(lo, hi - 1):
+            b.machine.memory.write_array(
+                out_addr + blk * _BLOCK_BYTES,
+                self._expected(b, a_addr, b_addr, blk), U8)
+
     # -- scalar ---------------------------------------------------------
 
     def build_scalar(self, b, workload) -> np.ndarray:
         a_addr, b_addr, out_addr = self._setup(b, workload)
         blocks = workload["blocks"]
         R_A, R_B, R_OUT, R_CNT, R_X, R_Y, R_S = 1, 2, 3, 4, 5, 6, 7
-        for blk in range(blocks):
+
+        def block_body(blk: int) -> None:
             b.li(R_A, a_addr + blk * _BLOCK_BYTES)
             b.li(R_B, b_addr + blk * _BLOCK_BYTES)
             b.li(R_OUT, out_addr + blk * _BLOCK_BYTES)
             b.li(R_CNT, _BLOCK)
-            for _row in range(_BLOCK):
+
+            def row_body(_row: int) -> None:
                 for col in range(_BLOCK):
                     b.ldbu(R_X, R_A, col)
                     b.ldbu(R_Y, R_B, col)
@@ -77,6 +94,26 @@ class CompensationKernel(Kernel):
                 b.addi(R_OUT, R_OUT, _BLOCK)
                 b.subi(R_CNT, R_CNT, 1)
                 b.branch(R_CNT, "bgt")
+
+            def row_bulk(lo: int, hi: int) -> None:
+                vals = self._expected(b, a_addr, b_addr, blk)
+                last = hi - 1
+                base = blk * _BLOCK_BYTES + last * _BLOCK
+                b.machine.memory.write_array(
+                    out_addr + blk * _BLOCK_BYTES + lo * _BLOCK,
+                    vals[lo:last], U8)
+                b.regs.write(R_A, a_addr + base)
+                b.regs.write(R_B, b_addr + base)
+                b.regs.write(R_OUT, out_addr + base)
+                b.regs.write(R_CNT, _BLOCK - last)
+                b.replay(row_body, last)
+
+            b.unroll(_BLOCK, row_body, row_bulk)
+
+        b.unroll(blocks, block_body,
+                 lambda lo, hi: (self._bulk_blocks(b, a_addr, b_addr,
+                                                   out_addr, lo, hi),
+                                 b.replay(block_body, hi - 1)))
         return self._read_output(b, out_addr, blocks)
 
     # -- MMX / MDMX (identical code: no reductions are involved) ----------
@@ -85,12 +122,14 @@ class CompensationKernel(Kernel):
         a_addr, b_addr, out_addr = self._setup(b, workload)
         blocks = workload["blocks"]
         R_A, R_B, R_OUT, R_CNT = 1, 2, 3, 4
-        for blk in range(blocks):
+
+        def block_body(blk: int) -> None:
             b.li(R_A, a_addr + blk * _BLOCK_BYTES)
             b.li(R_B, b_addr + blk * _BLOCK_BYTES)
             b.li(R_OUT, out_addr + blk * _BLOCK_BYTES)
             b.li(R_CNT, _BLOCK)
-            for _row in range(_BLOCK):
+
+            def row_body(_row: int) -> None:
                 b.movq_ld(0, R_A, 0, U8)
                 b.movq_ld(1, R_A, 8, U8)
                 b.movq_ld(2, R_B, 0, U8)
@@ -104,6 +143,26 @@ class CompensationKernel(Kernel):
                 b.addi(R_OUT, R_OUT, _BLOCK)
                 b.subi(R_CNT, R_CNT, 1)
                 b.branch(R_CNT, "bgt")
+
+            def row_bulk(lo: int, hi: int) -> None:
+                vals = self._expected(b, a_addr, b_addr, blk)
+                last = hi - 1
+                base = blk * _BLOCK_BYTES + last * _BLOCK
+                b.machine.memory.write_array(
+                    out_addr + blk * _BLOCK_BYTES + lo * _BLOCK,
+                    vals[lo:last], U8)
+                b.regs.write(R_A, a_addr + base)
+                b.regs.write(R_B, b_addr + base)
+                b.regs.write(R_OUT, out_addr + base)
+                b.regs.write(R_CNT, _BLOCK - last)
+                b.replay(row_body, last)
+
+            b.unroll(_BLOCK, row_body, row_bulk)
+
+        b.unroll(blocks, block_body,
+                 lambda lo, hi: (self._bulk_blocks(b, a_addr, b_addr,
+                                                   out_addr, lo, hi),
+                                 b.replay(block_body, hi - 1)))
         return self._read_output(b, out_addr, blocks)
 
     def build_mmx(self, b, workload) -> np.ndarray:
@@ -120,7 +179,8 @@ class CompensationKernel(Kernel):
         R_A, R_B, R_OUT, R_STRIDE, R_A_HI, R_B_HI, R_OUT_HI = 1, 2, 3, 4, 5, 6, 7
         b.li(R_STRIDE, _BLOCK)
         b.setvl(_BLOCK)
-        for blk in range(blocks):
+
+        def body(blk: int) -> None:
             b.li(R_A, a_addr + blk * _BLOCK_BYTES)
             b.li(R_B, b_addr + blk * _BLOCK_BYTES)
             b.li(R_OUT, out_addr + blk * _BLOCK_BYTES)
@@ -135,4 +195,9 @@ class CompensationKernel(Kernel):
             b.mom_pavg(5, 1, 3, U8)
             b.mom_st(4, R_OUT, R_STRIDE, U8)
             b.mom_st(5, R_OUT_HI, R_STRIDE, U8)
+
+        b.unroll(blocks, body,
+                 lambda lo, hi: (self._bulk_blocks(b, a_addr, b_addr,
+                                                   out_addr, lo, hi),
+                                 b.replay(body, hi - 1)))
         return self._read_output(b, out_addr, blocks)

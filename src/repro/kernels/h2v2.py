@@ -52,17 +52,32 @@ class H2V2UpsampleKernel(Kernel):
         flat = b.machine.read_array(out_addr, tiles * _OUT_BYTES, U8)
         return flat.reshape(tiles, _OUT, _OUT)
 
+    def _expected(self, b, in_addr: int, tile: int) -> np.ndarray:
+        """The upsampled tile ``tile`` recomputed from machine memory."""
+        inp = b.machine.read_array(in_addr + tile * _IN_BYTES,
+                                   _IN_BYTES, U8).reshape(_IN, _IN)
+        return np.repeat(np.repeat(inp, 2, axis=0), 2, axis=1)
+
+    def _bulk_tiles(self, b, in_addr: int, out_addr: int,
+                    lo: int, hi: int) -> None:
+        for tile in range(lo, hi - 1):
+            b.machine.memory.write_array(
+                out_addr + tile * _OUT_BYTES, self._expected(b, in_addr, tile),
+                U8)
+
     # -- scalar ---------------------------------------------------------
 
     def build_scalar(self, b, workload) -> np.ndarray:
         in_addr, out_addr = self._setup(b, workload)
         tiles = workload["tiles"]
         R_IN, R_OUT, R_CNT, R_X = 1, 2, 3, 4
-        for tile in range(tiles):
+
+        def tile_body(tile: int) -> None:
             b.li(R_IN, in_addr + tile * _IN_BYTES)
             b.li(R_OUT, out_addr + tile * _OUT_BYTES)
             b.li(R_CNT, _IN)
-            for _row in range(_IN):
+
+            def row_body(_row: int) -> None:
                 for col in range(_IN):
                     b.ldbu(R_X, R_IN, col)
                     b.stb(R_X, R_OUT, 2 * col)
@@ -73,6 +88,24 @@ class H2V2UpsampleKernel(Kernel):
                 b.addi(R_OUT, R_OUT, 2 * _OUT)
                 b.subi(R_CNT, R_CNT, 1)
                 b.branch(R_CNT, "bgt")
+
+            def row_bulk(lo: int, hi: int) -> None:
+                last = hi - 1
+                up = self._expected(b, in_addr, tile)
+                b.machine.memory.write_array(
+                    out_addr + tile * _OUT_BYTES + lo * 2 * _OUT,
+                    up[2 * lo:2 * last], U8)
+                b.regs.write(R_IN, in_addr + tile * _IN_BYTES + last * _IN)
+                b.regs.write(R_OUT,
+                             out_addr + tile * _OUT_BYTES + last * 2 * _OUT)
+                b.regs.write(R_CNT, _IN - last)
+                b.replay(row_body, last)
+
+            b.unroll(_IN, row_body, row_bulk)
+
+        b.unroll(tiles, tile_body,
+                 lambda lo, hi: (self._bulk_tiles(b, in_addr, out_addr, lo, hi),
+                                 b.replay(tile_body, hi - 1)))
         return self._read_output(b, out_addr, tiles)
 
     # -- MMX / MDMX --------------------------------------------------------
@@ -81,11 +114,13 @@ class H2V2UpsampleKernel(Kernel):
         in_addr, out_addr = self._setup(b, workload)
         tiles = workload["tiles"]
         R_IN, R_OUT, R_CNT = 1, 2, 3
-        for tile in range(tiles):
+
+        def tile_body(tile: int) -> None:
             b.li(R_IN, in_addr + tile * _IN_BYTES)
             b.li(R_OUT, out_addr + tile * _OUT_BYTES)
             b.li(R_CNT, _IN)
-            for _row in range(_IN):
+
+            def row_body(_row: int) -> None:
                 b.movq_ld(0, R_IN, 0, U8)
                 # duplicate horizontally: interleave the row with itself
                 b.punpckl(1, 0, 0, U8)
@@ -100,6 +135,24 @@ class H2V2UpsampleKernel(Kernel):
                 b.addi(R_OUT, R_OUT, 2 * _OUT)
                 b.subi(R_CNT, R_CNT, 1)
                 b.branch(R_CNT, "bgt")
+
+            def row_bulk(lo: int, hi: int) -> None:
+                last = hi - 1
+                up = self._expected(b, in_addr, tile)
+                b.machine.memory.write_array(
+                    out_addr + tile * _OUT_BYTES + lo * 2 * _OUT,
+                    up[2 * lo:2 * last], U8)
+                b.regs.write(R_IN, in_addr + tile * _IN_BYTES + last * _IN)
+                b.regs.write(R_OUT,
+                             out_addr + tile * _OUT_BYTES + last * 2 * _OUT)
+                b.regs.write(R_CNT, _IN - last)
+                b.replay(row_body, last)
+
+            b.unroll(_IN, row_body, row_bulk)
+
+        b.unroll(tiles, tile_body,
+                 lambda lo, hi: (self._bulk_tiles(b, in_addr, out_addr, lo, hi),
+                                 b.replay(tile_body, hi - 1)))
         return self._read_output(b, out_addr, tiles)
 
     def build_mmx(self, b, workload) -> np.ndarray:
@@ -118,7 +171,7 @@ class H2V2UpsampleKernel(Kernel):
         b.li(R_INS, _IN)            # input row stride
         b.li(R_OUTS, 2 * _OUT)      # output stride skips every other row
         b.setvl(_IN)
-        for tile in range(tiles):
+        def body(tile: int) -> None:
             base_out = out_addr + tile * _OUT_BYTES
             b.li(R_IN, in_addr + tile * _IN_BYTES)
             b.li(R_EVEN_LO, base_out)
@@ -132,4 +185,8 @@ class H2V2UpsampleKernel(Kernel):
             b.mom_st(2, R_EVEN_HI, R_OUTS, U8)
             b.mom_st(1, R_ODD_LO, R_OUTS, U8)
             b.mom_st(2, R_ODD_HI, R_OUTS, U8)
+
+        b.unroll(tiles, body,
+                 lambda lo, hi: (self._bulk_tiles(b, in_addr, out_addr, lo, hi),
+                                 b.replay(body, hi - 1)))
         return self._read_output(b, out_addr, tiles)

@@ -69,6 +69,26 @@ class Rgb2YccKernel(Kernel):
         flat = b.machine.read_array(out_addr, 3 * pixels, U8)
         return flat.reshape(3, pixels)
 
+    def _expected(self, b, rgb_addr: int, pixels: int) -> np.ndarray:
+        """The converted planes recomputed from machine memory."""
+        rgb = b.machine.read_array(rgb_addr, 3 * pixels, U8).reshape(3, pixels)
+        r, g, bch = rgb[0], rgb[1], rgb[2]
+        out = []
+        for idx, (cr_, cg_, cb_) in enumerate(_COMPONENTS):
+            value = (cr_ * r + cg_ * g + cb_ * bch + RGB_ROUND) >> RGB_SHIFT
+            if idx > 0:
+                value = value + CHROMA_OFFSET
+            out.append(np.clip(value, 0, 255))
+        return np.stack(out)
+
+    def _bulk_planes(self, b, rgb_addr: int, out_addr: int, pixels: int,
+                     px_lo: int, px_hi: int) -> None:
+        """Write pixels ``px_lo .. px_hi-1`` of all three output planes."""
+        vals = self._expected(b, rgb_addr, pixels)
+        for idx in range(3):
+            b.machine.memory.write_array(
+                out_addr + idx * pixels + px_lo, vals[idx, px_lo:px_hi], U8)
+
     # -- scalar ---------------------------------------------------------
 
     def build_scalar(self, b, workload) -> np.ndarray:
@@ -80,7 +100,7 @@ class Rgb2YccKernel(Kernel):
         b.li(R_B, rgb_addr + 2 * pixels)
         b.li(R_OUT, out_addr)
         b.li(R_CNT, pixels)
-        for px in range(pixels):
+        def body(px: int) -> None:
             b.ldbu(R_PR, R_R, px)
             b.ldbu(R_PG, R_G, px)
             b.ldbu(R_PB, R_B, px)
@@ -98,6 +118,14 @@ class Rgb2YccKernel(Kernel):
                 b.stb(R_ACC, R_OUT, idx * pixels + px)
             b.subi(R_CNT, R_CNT, 1)
             b.branch(R_CNT, "bgt")
+
+        def bulk(lo: int, hi: int) -> None:
+            last = hi - 1
+            self._bulk_planes(b, rgb_addr, out_addr, pixels, lo, last)
+            b.regs.write(R_CNT, pixels - last)
+            b.replay(body, last)
+
+        b.unroll(pixels, body, bulk)
         return self._read_output(b, out_addr, pixels)
 
     # -- MMX -------------------------------------------------------------
@@ -121,7 +149,7 @@ class Rgb2YccKernel(Kernel):
         for idx, (cr_, cg_, cb_) in enumerate(_COMPONENTS):
             b.load_const(MM_RG[idx], [cr_, cg_, cr_, cg_], S16)
             b.load_const(MM_BR[idx], [cb_, RGB_ROUND, cb_, RGB_ROUND], S16)
-        for group in range(pixels // 4):
+        def body(group: int) -> None:
             off = group * 4
             b.movd_ld(0, R_R, off, U8)
             b.movd_ld(1, R_G, off, U8)
@@ -149,6 +177,14 @@ class Rgb2YccKernel(Kernel):
                 b.movd_st(10, R_OUT, idx * pixels + off, U8)
             b.subi(R_CNT, R_CNT, 1)
             b.branch(R_CNT, "bgt")
+
+        def bulk(lo: int, hi: int) -> None:
+            last = hi - 1
+            self._bulk_planes(b, rgb_addr, out_addr, pixels, lo * 4, last * 4)
+            b.regs.write(R_CNT, pixels // 4 - last)
+            b.replay(body, last)
+
+        b.unroll(pixels // 4, body, bulk)
         return self._read_output(b, out_addr, pixels)
 
     # -- MDMX -------------------------------------------------------------
@@ -173,7 +209,7 @@ class Rgb2YccKernel(Kernel):
                 MM_COEF[(idx, ch)] = reg
                 b.load_const(reg, [coeffs[ch]] * 4, S16)
                 reg += 1
-        for group in range(pixels // 4):
+        def body(group: int) -> None:
             off = group * 4
             b.movd_ld(0, R_R, off, U8)
             b.movd_ld(1, R_G, off, U8)
@@ -193,6 +229,14 @@ class Rgb2YccKernel(Kernel):
                 b.movd_st(4, R_OUT, idx * pixels + off, U8)
             b.subi(R_CNT, R_CNT, 1)
             b.branch(R_CNT, "bgt")
+
+        def bulk(lo: int, hi: int) -> None:
+            last = hi - 1
+            self._bulk_planes(b, rgb_addr, out_addr, pixels, lo * 4, last * 4)
+            b.regs.write(R_CNT, pixels // 4 - last)
+            b.replay(body, last)
+
+        b.unroll(pixels // 4, body, bulk)
         return self._read_output(b, out_addr, pixels)
 
     # -- MOM --------------------------------------------------------------
@@ -212,7 +256,7 @@ class Rgb2YccKernel(Kernel):
         b.mom_load_const(MR_128, [[CHROMA_OFFSET] * 4], S16)
         for idx, coeffs in enumerate(_COMPONENTS):
             b.mom_load_const(MR_COEF[idx], [[c] * 4 for c in coeffs], S16)
-        for group in range(pixels // 8):
+        def body(group: int) -> None:
             off = group * 8
             # One strided load brings 8 pixels of R, G and B (vector length 3
             # along the colour dimension, as in the paper).
@@ -235,4 +279,12 @@ class Rgb2YccKernel(Kernel):
                 b.mom_st(5, R_OUTP, R_EIGHT, U8)
                 b.setvl(3)
             b.addi(R_IN, R_IN, 8)
+
+        def bulk(lo: int, hi: int) -> None:
+            last = hi - 1
+            self._bulk_planes(b, rgb_addr, out_addr, pixels, lo * 8, last * 8)
+            b.regs.write(R_IN, rgb_addr + last * 8)
+            b.replay(body, last)
+
+        b.unroll(pixels // 8, body, bulk)
         return self._read_output(b, out_addr, pixels)

@@ -175,6 +175,28 @@ class TraceColumns:
         self.opcode_ids = list(self.opcode_ids)
         self._adopted = False
 
+    def replicate_tail(self, start: int, times: int) -> None:
+        """Append ``times`` copies of the rows recorded from ``start`` on.
+
+        The block-emission primitive: a builder records one loop iteration
+        through :meth:`emit`, then replicates its record block for the
+        remaining iterations with a handful of list extensions instead of
+        re-running the interning path per instruction.
+        """
+        if times <= 0 or start >= len(self._sequence):
+            return
+        if self._adopted:
+            self._unshare()
+        tail = self._sequence[start:]
+        block = tail * times
+        self._sequence.extend(block)
+        self.shape_ids.extend(self.shape_ids[start:] * times)
+        self.srcs.extend(self.srcs[start:] * times)
+        self.dsts.extend(self.dsts[start:] * times)
+        self.opcode_ids.extend(self.opcode_ids[start:] * times)
+        rows = self._rows
+        self.total_ops += times * sum(rows[rid][4] for rid in tail)
+
     # ------------------------------------------------------------------
     # lowered adoption
     # ------------------------------------------------------------------

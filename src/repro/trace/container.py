@@ -139,6 +139,28 @@ class Trace:
         self._columns = None
         self._lowered = None
 
+    def replicate_tail(self, start: int, times: int) -> None:
+        """Append ``times`` copies of everything recorded from ``start`` on.
+
+        The block-emission primitive behind the builders'
+        :meth:`~repro.frontend.scalar_builder.ScalarBuilder.unroll`: a
+        column-mode trace replicates in a few list extensions; an
+        object-mode trace re-appends the slice (``DynInstr`` records are
+        immutable, so sharing the objects is safe).
+        """
+        if times <= 0 or start >= len(self):
+            return
+        if self._columns is not None:
+            self._columns.replicate_tail(start, times)
+            # Any earlier materialisation no longer covers the new rows.
+            self._instrs = None
+        else:
+            instrs = self._materialized()
+            tail = instrs[start:]
+            for _ in range(times):
+                instrs.extend(tail)
+        self._lowered = None
+
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
