@@ -163,6 +163,37 @@ def test_sweep_journal_replay(benchmark, tmp_path):
     benchmark.extra_info["points_replayed"] = len(results)
 
 
+def test_sweep_supervision_overhead(benchmark):
+    """Supervised execution must be ~free when nothing goes wrong.
+
+    The deadline bookkeeping (per-task deadlines, the timed wait loop) is
+    active whenever ``task_timeout`` is set; on a healthy sweep it must
+    neither fire nor cost real time relative to the unsupervised pool run.
+    """
+    sweep = _sweep()
+
+    start = time.perf_counter()
+    plain = SweepEngine(jobs=2).run(sweep)
+    plain_elapsed = time.perf_counter() - start
+
+    def supervised():
+        engine = SweepEngine(jobs=2, task_timeout=300.0)
+        return engine.run(sweep), engine
+
+    (results, engine) = benchmark.pedantic(supervised, rounds=1, iterations=1)
+    assert engine.last_timeouts == 0
+    assert engine.last_pool_restarts == 0
+    assert not engine.last_failures
+    assert [r.sim.cycles for r in results] == [r.sim.cycles for r in plain]
+
+    supervised_elapsed = benchmark.stats.stats.mean
+    benchmark.extra_info["plain_pool_s"] = round(plain_elapsed, 4)
+    benchmark.extra_info["supervised_s"] = round(supervised_elapsed, 4)
+    assert supervised_elapsed < plain_elapsed * 3.0 + 1.0, (
+        "deadline bookkeeping should be noise on a healthy sweep "
+        f"({supervised_elapsed:.3f}s vs {plain_elapsed:.3f}s)")
+
+
 def test_sweep_warm_miss_trace_cache(benchmark, tmp_path):
     """Warm-*miss* re-run: new machine configuration over cached traces.
 

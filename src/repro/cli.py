@@ -24,7 +24,11 @@ cache root), ``--stream-jsonl PATH`` (append one JSON line per point as
 it completes, including the sweep's cumulative simulated
 instructions/second), ``--resume PATH`` (write-ahead journal: every
 completed point is appended durably, and re-running with the same PATH
-replays the journal instead of re-simulating — crash-safe sweeps) and
+replays the journal instead of re-simulating — crash-safe sweeps),
+``--resume-failed {retry,skip}`` (what a resume does with journaled
+*failure* records), ``--task-timeout SECONDS`` / ``--max-pool-restarts N``
+(supervised pool execution: hung-worker deadlines, bounded pool respawns
+with backoff, poison-point quarantine — see ``docs/sweep-engine.md``) and
 ``--backend {auto,object,lowered,vector}`` (timing backend for the group
 simulations; identical numbers, different wall time).  A live
 ``done/total`` progress line with the simulated instr/s rate is written
@@ -102,6 +106,22 @@ def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
                              "point to PATH and, on a re-run with the same "
                              "PATH, replay it instead of re-simulating "
                              "(crash-safe, resumable sweeps)")
+    parser.add_argument("--resume-failed", default="retry",
+                        choices=("retry", "skip"),
+                        help="what --resume does with journaled failure "
+                             "records: re-run those points (default) or "
+                             "replay them as failures without re-running")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock deadline per worker-pool task; an "
+                             "overdue task's worker is presumed hung, the "
+                             "pool recycled and the task re-submitted "
+                             "(default: no deadline)")
+    parser.add_argument("--max-pool-restarts", type=int, default=None,
+                        metavar="N",
+                        help="worker-pool respawns (after crashes, hangs or "
+                             "submit failures) before the run degrades to "
+                             "serial execution (default 6)")
     parser.add_argument("--backend", default="auto", choices=list(BACKENDS),
                         help="timing backend for group simulations "
                              "(default auto: the NumPy vector batch "
@@ -128,7 +148,11 @@ def engine_from_args(args: argparse.Namespace) -> SweepEngine:
     return SweepEngine(jobs=args.jobs, cache_dir=args.cache_dir,
                        backend=getattr(args, "backend", "auto"),
                        result_store=getattr(args, "result_store", "json"),
-                       journal=getattr(args, "resume", None))
+                       journal=getattr(args, "resume", None),
+                       task_timeout=getattr(args, "task_timeout", None),
+                       max_pool_restarts=getattr(args, "max_pool_restarts",
+                                                 None),
+                       resume_failed=getattr(args, "resume_failed", "retry"))
 
 
 def engine_summary(engine: SweepEngine) -> str:
@@ -137,9 +161,18 @@ def engine_summary(engine: SweepEngine) -> str:
                f"{engine.last_cached} from cache")
     if engine.last_journaled:
         summary += f", {engine.last_journaled} from journal"
+    if engine.last_failures:
+        summary += f", {len(engine.last_failures)} failed"
+        if engine.last_quarantined:
+            summary += f" ({engine.last_quarantined} quarantined)"
     if engine.trace_cache is not None:
         summary += (f"; {engine.last_trace_hits} trace hit(s), "
                     f"{engine.last_trace_builds} trace build(s)")
+    if engine.last_retries or engine.last_pool_restarts or engine.last_timeouts:
+        summary += (f"; supervision: {engine.last_retries} retr"
+                    f"{'y' if engine.last_retries == 1 else 'ies'}, "
+                    f"{engine.last_pool_restarts} pool restart(s), "
+                    f"{engine.last_timeouts} timeout(s)")
     if engine.last_fallback_reason:
         summary += (f"; worker pool unavailable, ran serially "
                     f"({engine.last_fallback_reason})")
@@ -159,6 +192,7 @@ class _ProgressLine:
         self.total = total
         self.done = 0
         self.cached = 0
+        self.failed = 0
         self.sim_instructions = 0
         self.started = time.time()
         self.enabled = (sys.stderr.isatty() if enabled is None else enabled)
@@ -173,7 +207,9 @@ class _ProgressLine:
 
     def update(self, result: PointResult) -> None:
         self.done += 1
-        if result.cached:
+        if result.failure is not None:
+            self.failed += 1
+        elif result.cached:
             self.cached += 1
         else:
             self.sim_instructions += result.sim.instructions
@@ -182,9 +218,10 @@ class _ProgressLine:
         elapsed = time.time() - self.started
         rate = (f", {self.instr_per_sec / 1e6:.2f}M instr/s"
                 if self.sim_instructions else "")
+        failed = f", {self.failed} failed" if self.failed else ""
         sys.stderr.write(
             f"\r[sweep] {self.done}/{self.total} point(s) done "
-            f"({self.cached} cached, {elapsed:.1f}s{rate}) "
+            f"({self.cached} cached{failed}, {elapsed:.1f}s{rate}) "
             f"last: {result.kernel}/{result.isa}\x1b[K")
         sys.stderr.flush()
 
@@ -202,7 +239,8 @@ class _ProgressLine:
         sys.stderr.flush()
 
 
-def make_on_result(args: argparse.Namespace, total: int):
+def make_on_result(args: argparse.Namespace, total: int,
+                   engine: Optional[SweepEngine] = None):
     """Build the streaming ``on_result`` callback a command should pass to
     its experiment driver, honouring ``--stream-jsonl`` and TTY progress.
 
@@ -212,6 +250,10 @@ def make_on_result(args: argparse.Namespace, total: int):
     ``on_result`` is ``None`` when neither sink is active.  Commands
     should prefer the :func:`stream_sinks` context manager, which calls
     ``finish`` correctly on every exit path.
+
+    With an ``engine``, every stream record also carries the cumulative
+    supervision telemetry (``retries``/``pool_restarts``/``timeouts``/
+    ``quarantined``) at the moment the point completed.
     """
     progress = _ProgressLine(total)
     stream_path = getattr(args, "stream_jsonl", None)
@@ -220,19 +262,12 @@ def make_on_result(args: argparse.Namespace, total: int):
     def on_result(result: PointResult) -> None:
         progress.update(result)
         if stream is not None:
-            # One write + flush per record: a crash mid-sweep leaves at
-            # most one torn *trailing* line, which the journal/JSONL
-            # readers detect and skip.
-            stream.write(json.dumps({
+            record = {
                 "index": result.index,
                 "kernel": result.kernel,
                 "isa": result.isa,
                 "config": result.point.config.name,
                 "mem_latency": result.point.config.mem_latency,
-                "cycles": result.sim.cycles,
-                "instructions": result.sim.instructions,
-                "operations": result.sim.operations,
-                "ipc": result.sim.ipc,
                 "cached": result.cached,
                 "journaled": result.journaled,
                 "trace_cached": result.trace_cached,
@@ -240,7 +275,27 @@ def make_on_result(args: argparse.Namespace, total: int):
                 # at the moment this point completed (0 while everything
                 # is still coming from the result cache).
                 "sim_instr_per_sec": progress.instr_per_sec,
-            }, sort_keys=True) + "\n")
+            }
+            if result.failure is not None:
+                record["failure"] = result.failure.to_dict()
+            else:
+                record.update({
+                    "cycles": result.sim.cycles,
+                    "instructions": result.sim.instructions,
+                    "operations": result.sim.operations,
+                    "ipc": result.sim.ipc,
+                })
+            if engine is not None:
+                record.update({
+                    "retries": engine.last_retries,
+                    "pool_restarts": engine.last_pool_restarts,
+                    "timeouts": engine.last_timeouts,
+                    "quarantined": engine.last_quarantined,
+                })
+            # One write + flush per record: a crash mid-sweep leaves at
+            # most one torn *trailing* line, which the journal/JSONL
+            # readers detect and skip.
+            stream.write(json.dumps(record, sort_keys=True) + "\n")
             stream.flush()
 
     def finish(ok: bool = True) -> None:
@@ -254,7 +309,8 @@ def make_on_result(args: argparse.Namespace, total: int):
 
 
 @contextlib.contextmanager
-def stream_sinks(args: argparse.Namespace, total: int):
+def stream_sinks(args: argparse.Namespace, total: int,
+                 engine: Optional[SweepEngine] = None):
     """Context manager over :func:`make_on_result`'s sinks.
 
     Yields the ``on_result`` callback (or ``None``) and guarantees the
@@ -264,7 +320,7 @@ def stream_sinks(args: argparse.Namespace, total: int):
     complete line intact and the TTY progress line is cleared rather than
     left dangling under the traceback.
     """
-    on_result, finish = make_on_result(args, total)
+    on_result, finish = make_on_result(args, total, engine=engine)
     try:
         yield on_result
     except BaseException:
@@ -384,7 +440,9 @@ def _print_engine_summary(engine: SweepEngine) -> None:
     if engine.cache is not None:
         print(f"\n[sweep] {engine_summary(engine)} "
               f"({engine.cache.cache_dir})")
-    elif engine.last_fallback_reason or engine.last_journaled:
+    elif (engine.last_fallback_reason or engine.last_journaled
+          or engine.last_failures or engine.last_pool_restarts
+          or engine.last_retries):
         print(f"\n[sweep] {engine_summary(engine)}")
 
 
@@ -415,7 +473,7 @@ def _kernel_count(kernels: Optional[Sequence[str]]) -> int:
 def _cmd_figure4(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
     total = _kernel_count(args.kernels) * len(args.ways) * len(ISA_VARIANTS)
-    with stream_sinks(args, total) as on_result:
+    with stream_sinks(args, total, engine=engine) as on_result:
         results = run_figure4(kernels=args.kernels, ways=tuple(args.ways),
                               spec=_spec(args.scale), engine=engine,
                               on_result=on_result)
@@ -428,7 +486,7 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
     total = (_kernel_count(args.kernels) * len(args.latencies)
              * len(ISA_VARIANTS))
-    with stream_sinks(args, total) as on_result:
+    with stream_sinks(args, total, engine=engine) as on_result:
         results = run_figure5(kernels=args.kernels,
                               latencies=tuple(args.latencies),
                               spec=_spec(args.scale), engine=engine,
@@ -446,7 +504,7 @@ def _cmd_figure5(args: argparse.Namespace) -> int:
 def _cmd_tables(args: argparse.Namespace) -> int:
     engine = engine_from_args(args)
     total = _kernel_count(args.kernels) * len(ISA_VARIANTS)
-    with stream_sinks(args, total) as on_result:
+    with stream_sinks(args, total, engine=engine) as on_result:
         tables = run_breakdown_tables(kernels=args.kernels, way=args.way,
                                       spec=_spec(args.scale), engine=engine,
                                       on_result=on_result)
@@ -473,11 +531,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for config in configs
         for isa in args.isas
     ]
-    with stream_sinks(args, len(points)) as on_result:
+    with stream_sinks(args, len(points), engine=engine) as on_result:
         results = engine.run(points, on_result=on_result)
     print(f"{'kernel':10s} {'isa':7s} {'config':8s} {'mem':>4s} "
           f"{'cycles':>10s} {'instrs':>8s} {'IPC':>6s}  cached")
     for r in results:
+        if r.failure is not None:
+            tag = "quarantined" if r.failure.quarantined else "failed"
+            print(f"{r.kernel:10s} {r.isa:7s} {r.point.config.name:8s} "
+                  f"{r.point.config.mem_latency:4d} "
+                  f"{'FAILED':>10s} {'--':>8s} {'--':>6s}  "
+                  f"{tag}: {r.failure.error_type} ({r.failure.phase})")
+            continue
         source = "journal" if r.journaled else ("yes" if r.cached else "no")
         print(f"{r.kernel:10s} {r.isa:7s} {r.point.config.name:8s} "
               f"{r.point.config.mem_latency:4d} {r.sim.cycles:10d} "

@@ -18,6 +18,13 @@ The sweep subsystem is the shared engine behind every experiment driver
 * :class:`~repro.sweep.journal.SweepJournal` — a write-ahead JSONL journal
   of completed points enabling crash-safe, resumable sweeps
   (``repro sweep --resume``);
+* :class:`~repro.sweep.supervisor.PoolSupervisor` /
+  :class:`~repro.sweep.supervisor.SupervisorPolicy` — supervised pool
+  execution: per-task deadlines, bounded pool restarts with deterministic
+  backoff, and poison-point quarantine; failed points surface as
+  :class:`~repro.sweep.supervisor.PointFailure` records;
+* :mod:`~repro.sweep.faults` — the deterministic fault-injection harness
+  (``REPRO_FAULT_INJECT``) that makes all of the above testable;
 * :class:`~repro.sweep.tracecache.TraceCache` — content-addressed storage of
   serialized functional traces keyed by (kernel, ISA, workload spec,
   builder version), shared by the parent and every worker process;
@@ -30,20 +37,30 @@ See ``docs/sweep-engine.md`` for the full guide.
 from repro.sweep.cache import (RESULT_STORES, ResultCache, make_result_store,
                                point_key)
 from repro.sweep.engine import PointResult, SweepEngine, ensure_engine
+from repro.sweep.faults import FAULT_ENV, FaultPlan, FaultRule, InjectedFault
 from repro.sweep.journal import SweepJournal, read_jsonl
 from repro.sweep.manage import (CacheStats, GCReport, cache_stats,
                                 clear_cache, gc_cache)
 from repro.sweep.spec import SweepPoint, SweepSpec, resolve_spec
 from repro.sweep.sqlite_store import SQLiteResultStore
+from repro.sweep.supervisor import (PointFailure, PoolSupervisor,
+                                    SupervisorPolicy)
 from repro.sweep.tracecache import TraceCache, trace_key
 
 __all__ = [
     "CacheStats",
+    "FAULT_ENV",
+    "FaultPlan",
+    "FaultRule",
     "GCReport",
+    "InjectedFault",
+    "PointFailure",
     "PointResult",
+    "PoolSupervisor",
     "RESULT_STORES",
     "ResultCache",
     "SQLiteResultStore",
+    "SupervisorPolicy",
     "SweepEngine",
     "SweepJournal",
     "SweepPoint",

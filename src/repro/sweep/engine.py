@@ -43,26 +43,37 @@ accept an ``on_result`` callback for live progress reporting and incremental
 output.  :meth:`run` additionally reassembles the deterministic
 spec-expansion order, so existing barrier-style callers are unchanged.
 
-Execution failures in a worker pool (e.g. a sandbox that forbids fork, an
-unpicklable point at submit time, or a pool that breaks mid-run) are not
-fatal: the engine finishes the remaining points on the serial path and
-records why in :attr:`SweepEngine.last_fallback_reason`.
+Execution failures are *supervised*, not fatal
+(:mod:`repro.sweep.supervisor`): pool-infrastructure failures (a sandbox
+that forbids fork, an unpicklable point at submit time, a pool that breaks
+mid-run) respawn the pool with bounded exponential backoff before the
+serial fallback takes over; a hung worker is detected by a per-task
+deadline (``task_timeout``) and its group re-submitted; a point that
+repeatedly kills or hangs its worker is bisected out and **quarantined**;
+and a point whose kernel raises — under the pool or on the serial path —
+becomes a structured :class:`~repro.sweep.supervisor.PointFailure` on its
+:class:`PointResult` instead of aborting the sweep.
+:attr:`SweepEngine.last_fallback_reason`, :attr:`SweepEngine.last_retries`,
+:attr:`SweepEngine.last_pool_restarts`, :attr:`SweepEngine.last_timeouts`
+and :attr:`SweepEngine.last_failures` record what supervision did.
 """
 
 from __future__ import annotations
 
 import os
-import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
-                    Sequence, Tuple, Union)
+                    Sequence, Set, Tuple, Union)
 
+from repro.sweep import faults
 from repro.sweep.cache import (RESULT_STORES, make_result_store, point_key,
                                sim_from_dict, stats_from_dict)
 from repro.sweep.journal import SweepJournal
 from repro.sweep.spec import SweepPoint, SweepSpec
+from repro.sweep.supervisor import (POOL_INFRA_ERRORS, PointFailure,
+                                    PoolSupervisor, SupervisorPolicy,
+                                    policy_with_overrides)
 from repro.sweep.tracecache import TRACE_SUBDIR, TraceCache
 from repro.timing.results import SimResult
 from repro.trace.container import Trace
@@ -70,14 +81,11 @@ from repro.trace.stats import TraceStats
 
 __all__ = ["PointResult", "SweepEngine", "ensure_engine"]
 
-#: Exceptions that degrade the worker pool to the serial path instead of
-#: failing the sweep: sandbox/fork problems (OSError and subclasses,
-#: ImportError for missing _multiprocessing), unpicklable work items
-#: (pickle.PicklingError at submit or send time) and a pool whose workers
-#: died (BrokenProcessPool).  Anything else — notably a kernel's functional
-#: verification failure — propagates.
-_POOL_FALLBACK_ERRORS = (OSError, PermissionError, ImportError,
-                         BrokenProcessPool, pickle.PicklingError)
+#: Exceptions that count as pool *infrastructure* failures (retried with
+#: pool respawns, then degraded to the serial path — never a failed
+#: sweep).  Re-exported from the supervisor under the engine's historical
+#: name.
+_POOL_FALLBACK_ERRORS = POOL_INFRA_ERRORS
 
 #: Callback type for streaming results: called once per completed point.
 OnResult = Callable[["PointResult"], None]
@@ -118,17 +126,29 @@ class PointResult:
     index:
         Position of the point in the sweep's deterministic expansion order;
         lets streaming consumers reassemble barrier order.
+    failure:
+        ``None`` for a completed point.  Otherwise the structured
+        :class:`~repro.sweep.supervisor.PointFailure` explaining why the
+        point has no numbers (quarantined poison point, kernel exception,
+        …); ``sim`` and ``stats`` are ``None`` then — check :attr:`ok`
+        before touching them.
     """
 
     point: SweepPoint
-    sim: SimResult
-    stats: TraceStats
+    sim: Optional[SimResult] = None
+    stats: Optional[TraceStats] = None
     cached: bool = False
     journaled: bool = False
     trace_cached: bool = False
     build: Optional[object] = None
     checked: bool = True
     index: int = -1
+    failure: Optional[PointFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the point completed (i.e. carries sim/stats numbers)."""
+        return self.failure is None
 
     @property
     def kernel(self) -> str:
@@ -151,7 +171,10 @@ class PointResult:
 
         Without a retained build this is only knowable when the run (or the
         cached work it came from) verified against the golden reference.
+        A failed point is never correct.
         """
+        if self.failure is not None:
+            return False
         if self.build is not None:
             return self.build.correct
         return self.checked
@@ -216,6 +239,11 @@ def _simulate_group(points: Sequence[SweepPoint], check: bool,
     from repro.timing.dispatch import resolve_execution, simulate_batch
     from repro.trace.stats import summarize_trace
 
+    # Deterministic fault injection (no-op unless REPRO_FAULT_INJECT is
+    # set): every point gets its chance to crash/hang/raise before any
+    # simulation work, in the process that would execute it.
+    for point in points:
+        faults.fire_faults(point)
     trace, from_cache = _acquire_trace(points[0], check, trace_cache)
     stats = summarize_trace(trace)
     sims = simulate_batch(trace, [p.config for p in points], backend=backend)
@@ -251,6 +279,7 @@ def _pool_worker(args: Tuple[Tuple[SweepPoint, ...], bool, Optional[str],
     on-disk cache, plus the build count and backend execution record)
     travel back to the parent.
     """
+    faults.mark_worker()
     points, check, trace_dir, backend = args
     trace_cache = TraceCache(trace_dir) if trace_dir else None
     return _simulate_group(points, check, trace_cache, backend)
@@ -303,13 +332,33 @@ class SweepEngine:
         recorded points replay instantly and are neither re-simulated nor
         re-built (``repro sweep --resume PATH``).  A per-call ``journal=``
         on :meth:`run` / :meth:`iter_results` overrides this.
+    task_timeout:
+        Wall-clock seconds one pool task (a trace group) may run before its
+        worker is presumed hung and the pool recycled; ``None`` (default)
+        disables deadlines.  CLI: ``--task-timeout``.
+    max_pool_restarts:
+        Pool respawns per run before the serial fallback takes over;
+        ``None`` keeps the :class:`~repro.sweep.supervisor.SupervisorPolicy`
+        default.  CLI: ``--max-pool-restarts``.
+    supervision:
+        Full :class:`~repro.sweep.supervisor.SupervisorPolicy` for the
+        supervised pool loop (retry counts, backoff schedule); the bare
+        ``task_timeout``/``max_pool_restarts`` knobs override its fields.
+    resume_failed:
+        What ``--resume`` does with journaled *failure* records:
+        ``"retry"`` (default) re-runs those points, ``"skip"`` replays them
+        as failed results without re-running.
     """
 
     def __init__(self, jobs: int = 1, cache_dir: Optional[str] = None,
                  check: bool = True, version: Optional[str] = None,
                  trace_cache: Union[None, bool, str] = None,
                  backend: str = "auto", result_store: str = "json",
-                 journal: Union[None, str, SweepJournal] = None) -> None:
+                 journal: Union[None, str, SweepJournal] = None,
+                 task_timeout: Optional[float] = None,
+                 max_pool_restarts: Optional[int] = None,
+                 supervision: Optional[SupervisorPolicy] = None,
+                 resume_failed: str = "retry") -> None:
         from repro.timing.dispatch import BACKENDS
 
         if backend not in BACKENDS:
@@ -318,8 +367,14 @@ class SweepEngine:
         if result_store not in RESULT_STORES:
             raise ValueError(f"unknown result store {result_store!r}; "
                              f"choose from {RESULT_STORES}")
+        if resume_failed not in ("retry", "skip"):
+            raise ValueError(f"unknown resume_failed mode {resume_failed!r}; "
+                             f"choose from ('retry', 'skip')")
         self.backend = backend
         self.result_store = result_store
+        self.policy = policy_with_overrides(supervision, task_timeout,
+                                            max_pool_restarts)
+        self.resume_failed = resume_failed
         self.jobs = max(1, int(jobs))
         self._version = version
         self.cache = (make_result_store(result_store, cache_dir,
@@ -353,6 +408,21 @@ class SweepEngine:
         self.last_pool_tasks = 0
         #: Why the most recent run fell back to serial execution (if it did).
         self.last_fallback_reason: Optional[str] = None
+        #: Task retries the most recent run's supervision performed (pool
+        #: re-submissions after crash/timeout/exception, plus serial
+        #: point-isolation re-runs).
+        self.last_retries = 0
+        #: Worker-pool respawns the most recent run performed.
+        self.last_pool_restarts = 0
+        #: Task deadlines that fired during the most recent run.
+        self.last_timeouts = 0
+        #: Points the most recent run gave up on, as
+        #: :class:`~repro.sweep.supervisor.PointFailure` records (also
+        #: carried on the corresponding results' ``failure`` field).
+        self.last_failures: List[PointFailure] = []
+        #: Of those, how many were quarantined for repeatedly killing or
+        #: hanging their worker.
+        self.last_quarantined = 0
         #: Per simulated trace group of the most recent run: ``(number of
         #: configurations, executed timing backend)`` — the observable
         #: record that groups were routed through the batch dispatch, and
@@ -429,6 +499,11 @@ class SweepEngine:
         self.last_pool_tasks = 0
         self.last_fallback_reason = None
         self.last_batches = []
+        self.last_retries = 0
+        self.last_pool_restarts = 0
+        self.last_timeouts = 0
+        self.last_failures = []
+        self.last_quarantined = 0
 
         if isinstance(journal, (str, os.PathLike)):
             journal = SweepJournal(journal)
@@ -450,6 +525,8 @@ class SweepEngine:
             return result
 
         # Serve what we can from the journal, then the result cache.
+        skip_failed = (use_journal and self.resume_failed == "skip"
+                       and journal.failed)
         todo: List[int] = []
         for i, point in enumerate(points):
             if completed:
@@ -462,6 +539,19 @@ class SweepEngine:
                                            journaled=True,
                                            checked=bool(
                                                record.get("checked", True)),
+                                           index=i))
+                    continue
+            if skip_failed:
+                record = journal.failed.get(key_of(point))
+                if record is not None:
+                    failure = PointFailure.from_dict(record["failure"])
+                    failure.index = i
+                    self.last_journaled += 1
+                    self.last_failures.append(failure)
+                    if failure.quarantined:
+                        self.last_quarantined += 1
+                    yield emit(PointResult(point=point, journaled=True,
+                                           checked=False, failure=failure,
                                            index=i))
                     continue
             if self.cache is not None and not keep_builds:
@@ -477,12 +567,15 @@ class SweepEngine:
         if not todo:
             return
 
-        remaining = list(todo)
+        # A set: results land in completion order under the pool, and a
+        # list's remove() would make every landing an O(n) scan.  Order for
+        # the serial path comes from sorting, not from insertion.
+        remaining: Set[int] = set(todo)
         if self.jobs > 1 and len(todo) > 1 and not keep_builds:
             for result in self._iter_pool(points, remaining):
                 yield emit(self._record(result))
-            # On pool failure `remaining` still holds what the pool did not
-            # finish; the serial loop below completes the sweep.
+            # On pool fallback `remaining` still holds what the pool did
+            # not finish; the serial loop below completes the sweep.
 
         for result in self._iter_serial(points, remaining, keep_builds):
             yield emit(self._record(result))
@@ -490,7 +583,7 @@ class SweepEngine:
     # ------------------------------------------------------------------
 
     def _iter_serial(self, points: Sequence[SweepPoint],
-                     remaining: List[int],
+                     remaining: Set[int],
                      keep_builds: bool) -> Iterator[PointResult]:
         """Yield the remaining points' results, simulated in this process.
 
@@ -502,12 +595,15 @@ class SweepEngine:
         no group beyond the one being consumed is simulated ahead of the
         consumer.  ``keep_builds`` disables batching: every point runs its
         own front-end build so each result can retain one.
+
+        A group that raises is re-run point by point so one bad point
+        cannot abort the sweep (:meth:`_isolate_serial_group`).
         """
         if keep_builds:
-            for i in list(remaining):
+            for i in sorted(remaining):
                 sim, stats, build = _simulate_point_with_build(
                     points[i], self.check)
-                remaining.remove(i)
+                remaining.discard(i)
                 self.last_trace_builds += 1
                 # keep_builds bypasses both caches for *reads*, but a fresh
                 # verified trace is still published for later sweeps.
@@ -517,20 +613,64 @@ class SweepEngine:
                                   build=build, checked=self.check, index=i)
             return
 
-        for group in _group_by_trace(points, list(remaining)):
-            rows, builds, execution = _simulate_group(
-                [points[i] for i in group], self.check, self.trace_cache,
-                self.backend)
+        for group in _group_by_trace(points, sorted(remaining)):
+            try:
+                rows, builds, execution = _simulate_group(
+                    [points[i] for i in group], self.check, self.trace_cache,
+                    self.backend)
+            except Exception:
+                yield from self._isolate_serial_group(points, group,
+                                                      remaining)
+                continue
             self.last_trace_builds += builds
             self.last_batches.append(execution)
             for i, (sim, stats, from_cache) in zip(group, rows):
-                remaining.remove(i)
+                remaining.discard(i)
                 yield PointResult(point=points[i], sim=sim, stats=stats,
                                   trace_cached=from_cache,
                                   checked=self.check or from_cache, index=i)
 
+    def _isolate_serial_group(self, points: Sequence[SweepPoint],
+                              group: Sequence[int],
+                              remaining: Set[int]) -> Iterator[PointResult]:
+        """Re-run one raising serial group point by point.
+
+        The solo pass doubles as the retry — a transient exception
+        recovers here — and the points that *still* raise become
+        :class:`~repro.sweep.supervisor.PointFailure` records
+        (``phase="serial"``, two attempts) instead of aborting the sweep.
+        """
+        for i in group:
+            self.last_retries += 1
+            try:
+                rows, builds, execution = _simulate_group(
+                    [points[i]], self.check, self.trace_cache, self.backend)
+            except Exception as exc:
+                remaining.discard(i)
+                point = points[i]
+                yield PointResult(
+                    point=point, checked=False, index=i,
+                    failure=PointFailure(
+                        index=i, kernel=point.kernel, isa=point.isa,
+                        config=point.config.name,
+                        error_type=type(exc).__name__, message=str(exc),
+                        phase="serial", attempts=2))
+                continue
+            self.last_trace_builds += builds
+            self.last_batches.append(execution)
+            sim, stats, from_cache = rows[0]
+            remaining.discard(i)
+            yield PointResult(point=points[i], sim=sim, stats=stats,
+                              trace_cached=from_cache,
+                              checked=self.check or from_cache, index=i)
+
     def _record(self, result: PointResult) -> PointResult:
         """Account for one fresh (non-result-cached) result and cache it."""
+        if result.failure is not None:
+            self.last_failures.append(result.failure)
+            if result.failure.quarantined:
+                self.last_quarantined += 1
+            return result
         self.last_simulated += 1
         if result.trace_cached:
             self.last_trace_hits += 1
@@ -568,8 +708,8 @@ class SweepEngine:
         return out
 
     def _iter_pool(self, points: Sequence[SweepPoint],
-                   remaining: List[int]) -> Iterator[PointResult]:
-        """Yield pool-computed results, removing their indices from
+                   remaining: Set[int]) -> Iterator[PointResult]:
+        """Yield pool-computed results, discarding their indices from
         ``remaining`` as they land.
 
         One submitted task is normally one *trace group* (see module
@@ -583,63 +723,72 @@ class SweepEngine:
         the build-once guarantee is unaffected and the simulations spread
         across the pool.
 
-        Any pool-infrastructure failure — at pool creation, at submit time
-        (e.g. ``PicklingError``/``OSError`` while shipping a point) or
-        mid-run (``BrokenProcessPool``) — stops the generator with
-        :attr:`last_fallback_reason` set and the unfinished indices still in
-        ``remaining``, so the caller's serial path can finish them.
+        Execution is supervised (:class:`~repro.sweep.supervisor
+        .PoolSupervisor`): infrastructure failures respawn the pool with
+        backoff, hung tasks are detected by ``task_timeout`` deadlines and
+        re-submitted, and points that repeatedly kill or hang a worker are
+        quarantined — yielded as failed results — instead of costing the
+        run its parallelism.  Only when the restart budget is spent does
+        the generator stop with :attr:`last_fallback_reason` set and the
+        unfinished indices still in ``remaining``, for the caller's serial
+        path to finish.
         """
         trace_dir = (self.trace_cache.cache_dir
                      if self.trace_cache is not None else None)
-        groups = _group_by_trace(points, remaining)
+        groups = _group_by_trace(points, sorted(remaining))
         if self.trace_cache is not None and len(groups) < self.jobs:
             groups = self._split_warm_groups(groups, points)
         self.last_pool_tasks = len(groups)
         workers = min(self.jobs, len(groups), (os.cpu_count() or 1) * 4)
+
+        def make_args(indices: Sequence[int]) -> tuple:
+            return (tuple(points[i] for i in indices), self.check,
+                    trace_dir, self.backend)
+
+        supervisor = PoolSupervisor(
+            points, groups, make_args, _pool_worker, workers,
+            # The lambda resolves the engine module's ProcessPoolExecutor
+            # symbol per call, so tests that monkeypatch it keep working.
+            pool_factory=lambda n: ProcessPoolExecutor(max_workers=n),
+            policy=self.policy)
+        events = supervisor.run()
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
-        except _POOL_FALLBACK_ERRORS as exc:
-            self.last_fallback_reason = f"{type(exc).__name__}: {exc}"
-            return
-        try:
-            try:
-                futures = {
-                    pool.submit(
-                        _pool_worker,
-                        (tuple(points[i] for i in group), self.check,
-                         trace_dir, self.backend)): group
-                    for group in groups
-                }
-            except _POOL_FALLBACK_ERRORS as exc:
-                self.last_fallback_reason = (
-                    f"{type(exc).__name__} at submit: {exc}")
-                return
-            pending = set(futures)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    group = futures[future]
-                    try:
-                        rows, builds, execution = future.result()
-                    except _POOL_FALLBACK_ERRORS as exc:
-                        self.last_fallback_reason = (
-                            f"{type(exc).__name__}: {exc}")
-                        return
-                    self.last_trace_builds += builds
-                    self.last_batches.append(execution)
-                    for i, (sim, stats, trace_cached) in zip(group, rows):
-                        remaining.remove(i)
-                        yield PointResult(point=points[i], sim=sim,
-                                          stats=stats,
-                                          trace_cached=trace_cached,
-                                          checked=self.check or trace_cached,
-                                          index=i)
+            for kind, payload, extra in events:
+                # Fold the supervision telemetry in continuously, so the
+                # streaming callbacks (--stream-jsonl) see current counts
+                # with each result, not only the end-of-run totals.
+                self.last_retries = supervisor.retries
+                self.last_pool_restarts = supervisor.pool_restarts
+                self.last_timeouts = supervisor.timeouts
+                if kind == "failure":
+                    failure: PointFailure = payload
+                    remaining.discard(failure.index)
+                    yield PointResult(point=points[failure.index],
+                                      checked=False, failure=failure,
+                                      index=failure.index)
+                    continue
+                indices = payload
+                rows, builds, execution = extra
+                self.last_trace_builds += builds
+                self.last_batches.append(execution)
+                for i, (sim, stats, trace_cached) in zip(indices, rows):
+                    remaining.discard(i)
+                    yield PointResult(point=points[i], sim=sim, stats=stats,
+                                      trace_cached=trace_cached,
+                                      checked=self.check or trace_cached,
+                                      index=i)
         finally:
             # Runs on normal completion, on fallback, and — crucially — when
             # the consumer closes the generator early (GeneratorExit at a
-            # yield): queued points are cancelled instead of being executed
-            # to completion behind the caller's back.
-            pool.shutdown(wait=True, cancel_futures=True)
+            # yield): closing the supervision loop tears its pool down, so
+            # queued points are cancelled instead of being executed to
+            # completion behind the caller's back.
+            events.close()
+            self.last_retries = supervisor.retries
+            self.last_pool_restarts = supervisor.pool_restarts
+            self.last_timeouts = supervisor.timeouts
+            if supervisor.fallback_reason is not None:
+                self.last_fallback_reason = supervisor.fallback_reason
 
 
 def ensure_engine(engine: Optional[SweepEngine], jobs: int = 1,

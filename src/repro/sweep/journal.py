@@ -36,6 +36,16 @@ model bump (or any other change) changes the key and the old records simply
 match nothing.  Records from runs that skipped golden-reference
 verification carry ``"checked": false`` and replay with that flag intact.
 
+Points the supervised engine *gave up on* (quarantined poison points,
+kernel exceptions) are journaled too, as **failure records**: same key,
+no ``sim``/``stats``, and a ``failure`` object holding the
+:meth:`~repro.sweep.supervisor.PointFailure.to_dict` payload.  :meth:`load`
+reports them separately (:attr:`SweepJournal.failed`) and never as
+completed, so a resumed sweep retries failed points by default
+(``--resume-failed retry``) or replays them as failures without re-running
+(``--resume-failed skip``).  A success recorded after a failure supersedes
+it — the retry won.
+
 The journal is an *execution log*, not a cache: it is keyed to one sweep's
 points and replays in O(points), with no eviction policy.  Long-lived
 cross-sweep storage is the result cache's job
@@ -149,6 +159,11 @@ class SweepJournal:
     ----------
     replayed:
         Records the most recent :meth:`load` returned.
+    failed:
+        ``{key: record}`` of failure records the most recent :meth:`load`
+        found (and that no later success superseded); each record carries
+        the point identification plus a ``failure`` dict (the serialized
+        :class:`~repro.sweep.supervisor.PointFailure`).
     torn_bytes_discarded:
         Bytes of partial trailing record discarded by the most recent
         :meth:`load` (0 for a cleanly-closed journal).
@@ -160,6 +175,7 @@ class SweepJournal:
         self.path = os.fspath(path)
         self.fsync = fsync
         self.replayed = 0
+        self.failed: Dict[str, Dict[str, Any]] = {}
         self.torn_bytes_discarded = 0
         self.skipped_lines = 0
         self._file: Optional[IO[str]] = None
@@ -181,6 +197,7 @@ class SweepJournal:
         self.torn_bytes_discarded = scan.torn_bytes
         self.skipped_lines = scan.skipped_lines
         completed: Dict[str, Dict[str, Any]] = {}
+        failed: Dict[str, Dict[str, Any]] = {}
         for record in scan.records:
             if record.get("journal") == _HEADER_MARKER:
                 if record.get("format") != JOURNAL_FORMAT:
@@ -192,9 +209,17 @@ class SweepJournal:
             if record.get("format", JOURNAL_FORMAT) != JOURNAL_FORMAT:
                 continue
             key = record.get("key")
-            if isinstance(key, str) and "sim" in record and "stats" in record:
+            if not isinstance(key, str):
+                continue
+            if "sim" in record and "stats" in record:
                 completed[key] = record
+                # A success after a failure record: the retry won.
+                failed.pop(key, None)
+            elif isinstance(record.get("failure"), dict):
+                if key not in completed:
+                    failed[key] = record
         self.replayed = len(completed)
+        self.failed = failed
         return completed
 
     # -- writing -----------------------------------------------------------
@@ -239,21 +264,30 @@ class SweepJournal:
         self._write_line(record)
 
     def record(self, key: str, result: "PointResult") -> None:  # noqa: F821
-        """Append the journal record of one completed point.
+        """Append the journal record of one completed *or failed* point.
 
-        ``key`` is the point's result-cache key (content hash); the record
-        stores everything needed to rebuild the :class:`PointResult` on
-        resume without touching the cache or the simulator.
+        ``key`` is the point's result-cache key (content hash); a completed
+        point's record stores everything needed to rebuild the
+        :class:`PointResult` on resume without touching the cache or the
+        simulator, a failed point's stores its serialized
+        :class:`~repro.sweep.supervisor.PointFailure` (and no
+        ``sim``/``stats``, so pre-failure readers simply skip it).
         """
         from repro.sweep.cache import sim_to_dict, stats_to_dict
 
-        self.append({
+        header = {
             "key": key,
             "index": result.index,
             "kernel": result.kernel,
             "isa": result.isa,
             "config": result.point.config.name,
             "mem_latency": result.point.config.mem_latency,
+        }
+        if result.failure is not None:
+            self.append({**header, "failure": result.failure.to_dict()})
+            return
+        self.append({
+            **header,
             "checked": result.checked,
             "sim": sim_to_dict(result.sim),
             "stats": stats_to_dict(result.stats),

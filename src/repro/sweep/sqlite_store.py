@@ -26,6 +26,12 @@ Tolerance rules match the JSON store: a missing database, an unreadable
 row, or a corrupt payload is a plain miss (the point recomputes), never a
 crashed sweep.  Only a *newer* schema version is an error — silently
 misreading a future layout would be worse than stopping.
+
+Two sweep clients may share one ``results.db``: every connection sets
+``PRAGMA busy_timeout`` (so SQLite itself waits out a writer instead of
+failing instantly) and :meth:`SQLiteResultStore.put` additionally retries
+``database is locked`` errors a bounded number of times with a growing
+sleep — concurrent writers degrade to waiting, not to a crashed sweep.
 """
 
 from __future__ import annotations
@@ -43,14 +49,31 @@ from repro.timing.core import MODEL_VERSION
 from repro.timing.results import SimResult
 from repro.trace.stats import TraceStats
 
-__all__ = ["RESULTS_DB", "SCHEMA_VERSION", "SQLiteResultStore",
-           "db_path", "delete_keys", "iter_rows", "remove_store"]
+__all__ = ["BUSY_TIMEOUT_MS", "RESULTS_DB", "SCHEMA_VERSION",
+           "SQLiteResultStore", "db_path", "delete_keys", "iter_rows",
+           "remove_store"]
 
 #: File name of the SQLite result store inside a cache root.
 RESULTS_DB = "results.db"
 
 #: Layout version stamped into ``PRAGMA user_version``.
 SCHEMA_VERSION = 1
+
+#: How long SQLite itself waits on a locked database before erroring
+#: (``PRAGMA busy_timeout``, milliseconds), on every connection.
+BUSY_TIMEOUT_MS = 5000
+
+#: Application-level retries of a write that still came back "database is
+#: locked" (e.g. another client holding the lock past the busy timeout),
+#: and the base sleep between attempts (grows linearly).
+LOCK_RETRIES = 5
+LOCK_RETRY_DELAY = 0.05
+
+
+def _is_locked(exc: sqlite3.OperationalError) -> bool:
+    """Whether an OperationalError means contention (retryable), not a bug."""
+    message = str(exc).lower()
+    return "locked" in message or "busy" in message
 
 
 def db_path(cache_dir: str) -> str:
@@ -121,6 +144,7 @@ class SQLiteResultStore:
             if create:
                 os.makedirs(self.cache_dir, exist_ok=True)
             conn = sqlite3.connect(self.path)
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS:d}")
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")
             _ensure_schema(conn)
@@ -195,14 +219,25 @@ class SQLiteResultStore:
         }
         payload = json.dumps(entry, sort_keys=True, separators=(",", ":"))
         conn = self._connect(create=True)
-        conn.execute(
-            "INSERT OR REPLACE INTO results "
-            "(key, model_version, kernel, isa, payload, size, atime) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?)",
-            (key, self.version, point.kernel, point.isa, payload,
-             len(payload), time.time()))
-        conn.commit()
-        return key
+        for attempt in range(LOCK_RETRIES + 1):
+            try:
+                conn.execute(
+                    "INSERT OR REPLACE INTO results "
+                    "(key, model_version, kernel, isa, payload, size, atime) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (key, self.version, point.kernel, point.isa, payload,
+                     len(payload), time.time()))
+                conn.commit()
+                return key
+            except sqlite3.OperationalError as exc:
+                if not _is_locked(exc) or attempt == LOCK_RETRIES:
+                    raise
+                try:
+                    conn.rollback()
+                except sqlite3.Error:
+                    pass
+                time.sleep(LOCK_RETRY_DELAY * (attempt + 1))
+        return key  # not reached; the loop returns or raises
 
     def load_result(self, entry: Dict[str, Any]):
         """Deserialise one entry into ``(SimResult, TraceStats)``."""
@@ -230,6 +265,7 @@ def iter_rows(cache_dir: str) -> Iterator[Tuple[str, int, float]]:
     try:
         conn = sqlite3.connect(path)
         try:
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS:d}")
             _ensure_schema(conn)
             yield from conn.execute(
                 "SELECT key, size, atime FROM results ORDER BY key")
@@ -255,6 +291,7 @@ def delete_keys(cache_dir: str, keys: Sequence[str],
     try:
         conn = sqlite3.connect(path)
         try:
+            conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS:d}")
             _ensure_schema(conn)
             before = conn.total_changes
             conn.executemany("DELETE FROM results WHERE key = ?",

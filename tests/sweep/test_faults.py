@@ -1,0 +1,187 @@
+"""Unit tests of the deterministic fault-injection harness.
+
+The harness is what makes the supervision stack testable, so it gets its
+own tests: spec parsing, point matching, firing semantics per kind, the
+cross-process firing budget (O_CREAT|O_EXCL slot files), and the
+worker-only default scope of crash/hang rules.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.sweep.faults as faults
+from repro.sweep.faults import FaultPlan, FaultRule, InjectedFault
+from repro.sweep.spec import SweepPoint
+from repro.timing.config import MachineConfig
+from repro.workloads.generators import WorkloadSpec
+
+_SPEC = WorkloadSpec(scale=1, seed=7)
+
+
+def _point(kernel="comp", isa="mmx", way=1) -> SweepPoint:
+    return SweepPoint(kernel, isa, MachineConfig.for_way(way), _SPEC)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan_cache():
+    faults._PLAN_CACHE.clear()
+    yield
+    faults._PLAN_CACHE.clear()
+
+
+class TestParsing:
+    def test_object_form_with_state_dir(self, tmp_path):
+        plan = FaultPlan.parse(json.dumps({
+            "state_dir": str(tmp_path),
+            "faults": [{"kind": "raise", "kernel": "comp", "times": 2}],
+        }))
+        assert plan.state_dir == str(tmp_path)
+        assert len(plan.rules) == 1
+        assert plan.rules[0].kind == "raise"
+        assert plan.rules[0].times == 2
+
+    def test_bare_list_form(self):
+        plan = FaultPlan.parse('[{"kind": "hang", "seconds": 9}]')
+        assert plan.state_dir is None
+        assert plan.rules[0].seconds == 9
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultRule(kind="explode")
+
+    def test_unknown_scope_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault scope"):
+            FaultRule(kind="raise", scope="parent")
+
+    def test_non_object_spec_rejected(self):
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            FaultPlan.parse('"crash"')
+
+    def test_from_env_memoises_per_spec(self, monkeypatch):
+        monkeypatch.setenv(faults.FAULT_ENV, '[{"kind": "slow"}]')
+        first = FaultPlan.from_env()
+        assert FaultPlan.from_env() is first
+        monkeypatch.setenv(faults.FAULT_ENV, '[{"kind": "raise"}]')
+        second = FaultPlan.from_env()
+        assert second is not first
+        assert second.rules[0].kind == "raise"
+
+    def test_from_env_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+        assert FaultPlan.from_env() is None
+
+
+class TestMatching:
+    def test_selectors_all_none_match_everything(self):
+        rule = FaultRule(kind="raise")
+        assert rule.matches(_point())
+        assert rule.matches(_point(kernel="h2v2", isa="mom", way=8))
+
+    @pytest.mark.parametrize("selector,point,expected", [
+        ({"kernel": "comp"}, _point(kernel="comp"), True),
+        ({"kernel": "comp"}, _point(kernel="h2v2"), False),
+        ({"isa": "mmx"}, _point(isa="mmx"), True),
+        ({"isa": "mmx"}, _point(isa="mom"), False),
+        ({"config": "way4"}, _point(way=4), True),
+        ({"config": "way4"}, _point(way=1), False),
+        ({"kernel": "comp", "isa": "mmx", "config": "way1"},
+         _point(kernel="comp", isa="mmx", way=1), True),
+        ({"kernel": "comp", "isa": "mmx", "config": "way1"},
+         _point(kernel="comp", isa="mmx", way=4), False),
+    ])
+    def test_selectors(self, selector, point, expected):
+        assert FaultRule(kind="raise", **selector).matches(point) is expected
+
+
+class TestFiring:
+    def test_raise_fires_injected_fault_with_point_identity(self):
+        plan = FaultPlan([FaultRule(kind="raise", kernel="comp")])
+        with pytest.raises(InjectedFault, match="comp/mmx"):
+            plan.maybe_fire(_point())
+        assert plan.fired == ["raise"]
+
+    def test_budget_exhausts_in_process(self):
+        plan = FaultPlan([FaultRule(kind="raise", times=1)])
+        with pytest.raises(InjectedFault):
+            plan.maybe_fire(_point())
+        plan.maybe_fire(_point())  # budget spent: inert
+        assert plan.fired == ["raise"]
+
+    def test_poison_never_exhausts(self):
+        plan = FaultPlan([FaultRule(kind="raise", times=-1)])
+        for _ in range(3):
+            with pytest.raises(InjectedFault):
+                plan.maybe_fire(_point())
+
+    def test_times_zero_never_fires(self):
+        plan = FaultPlan([FaultRule(kind="raise", times=0)])
+        plan.maybe_fire(_point())
+        assert plan.fired == []
+
+    def test_slow_sleeps_then_proceeds(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(faults.time, "sleep", naps.append)
+        plan = FaultPlan([FaultRule(kind="slow", seconds=0.25)])
+        plan.maybe_fire(_point())  # returns normally
+        assert naps == [0.25]
+        assert plan.fired == ["slow"]
+
+    def test_first_matching_rule_wins(self):
+        plan = FaultPlan([FaultRule(kind="raise", kernel="h2v2"),
+                          FaultRule(kind="raise", kernel="comp",
+                                    message="second rule")])
+        with pytest.raises(InjectedFault, match="second rule"):
+            plan.maybe_fire(_point(kernel="comp"))
+
+    def test_cross_process_budget_via_slot_files(self, tmp_path):
+        # Two plans over one state_dir model two processes racing for a
+        # times=2 budget: exactly two claims succeed in total.
+        state = str(tmp_path / "state")
+        a = FaultPlan([FaultRule(kind="raise", times=2)], state_dir=state)
+        b = FaultPlan([FaultRule(kind="raise", times=2)], state_dir=state)
+        fired = 0
+        for plan in (a, b, a, b):
+            try:
+                plan.maybe_fire(_point())
+            except InjectedFault:
+                fired += 1
+        assert fired == 2
+        assert len(list((tmp_path / "state").iterdir())) == 2
+
+
+class TestWorkerScope:
+    def test_crash_and_hang_inert_outside_workers(self, monkeypatch):
+        monkeypatch.setattr(faults, "_IN_WORKER", False)
+        plan = FaultPlan([FaultRule(kind="crash"),
+                          FaultRule(kind="hang", seconds=60)])
+        plan.maybe_fire(_point())  # neither SIGKILL nor a 60s nap
+        assert plan.fired == []
+
+    def test_hang_fires_inside_worker(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(faults.time, "sleep", naps.append)
+        monkeypatch.setattr(faults, "_IN_WORKER", True)
+        plan = FaultPlan([FaultRule(kind="hang", seconds=60)])
+        plan.maybe_fire(_point())
+        assert naps == [60]
+
+    def test_scope_any_overrides_worker_default(self, monkeypatch):
+        naps = []
+        monkeypatch.setattr(faults.time, "sleep", naps.append)
+        monkeypatch.setattr(faults, "_IN_WORKER", False)
+        plan = FaultPlan([FaultRule(kind="hang", seconds=5, scope="any")])
+        plan.maybe_fire(_point())
+        assert naps == [5]
+
+    def test_raise_defaults_to_any_scope(self, monkeypatch):
+        monkeypatch.setattr(faults, "_IN_WORKER", False)
+        assert FaultRule(kind="raise").scope == "any"
+        assert FaultRule(kind="crash").scope == "worker"
+        assert FaultRule(kind="hang").scope == "worker"
+
+    def test_fire_faults_noop_without_env(self, monkeypatch):
+        monkeypatch.delenv(faults.FAULT_ENV, raising=False)
+        faults.fire_faults(_point())  # must not raise or sleep
