@@ -11,6 +11,13 @@ The CLI exposes the experiment drivers without writing any Python:
   through the shared engine.
 * ``cache``    — inspect / garbage-collect / clear the on-disk caches
   (``repro cache stats|gc|clear --cache-dir DIR``).
+* ``serve``    — run the crash-tolerant HTTP sweep service on a durable
+  ``--state-dir``: journal-backed recovery after a kill, idempotent
+  submissions, a bounded queue with backpressure, per-job deadlines and
+  a graceful SIGTERM drain (see ``docs/service.md``).
+* ``client``   — talk to a running service: ``submit`` a sweep, ``watch``
+  its live progress, ``fetch`` its results, ``list`` its jobs.  Retries
+  with deterministic backoff and honours 429 ``Retry-After``.
 * ``calibrate`` — measure the vector backend's loop-vs-vector cut-over on
   this machine and persist it for the ``auto`` backend rule
   (``~/.cache/repro/calibration.json`` or ``$REPRO_CALIBRATION``).
@@ -35,10 +42,13 @@ simulations; identical numbers, different wall time).  A live
 to stderr when it is a TTY, and ``repro cache stats --json`` emits the
 cache statistics as one JSON object for scripting.
 
-The streaming sinks are crash-safe: an engine exception or Ctrl-C still
-closes the JSONL stream (its last complete line intact) and clears the
-TTY progress line, and an interrupted command run with ``--resume``
-prints how to pick up where it stopped.
+The streaming sinks are crash-safe: an engine exception, Ctrl-C or
+SIGTERM still closes the JSONL stream (its last complete line intact) and
+clears the TTY progress line, and an interrupted command run with
+``--resume`` prints how to pick up where it stopped.  SIGTERM — what
+``kill``, timeouts and process supervisors send — gets full parity with
+Ctrl-C: the same teardown at a record boundary, the same resume hint, and
+the conventional exit code 143 (128 + SIGTERM) instead of 130.
 """
 
 from __future__ import annotations
@@ -47,6 +57,7 @@ import argparse
 import contextlib
 import json
 import os
+import signal
 import sys
 import time
 from dataclasses import replace
@@ -377,6 +388,90 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--seed", type=int, default=1999)
     _add_engine_flags(sweep_p)
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the crash-tolerant HTTP sweep service "
+             "(see docs/service.md)")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="interface to bind (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8023,
+                         help="TCP port to bind; 0 picks a free port and "
+                              "prints it (default 8023)")
+    serve_p.add_argument("--state-dir", required=True,
+                         help="durable service state: job records and one "
+                              "write-ahead journal per job; restarting on "
+                              "the same directory resumes every unfinished "
+                              "job without re-simulating journaled points")
+    serve_p.add_argument("--max-queue", type=int, default=16,
+                         help="bound on queued jobs; submissions over it "
+                              "get HTTP 429 + Retry-After (default 16)")
+    serve_p.add_argument("--max-poll-seconds", type=float, default=30.0,
+                         help="server-side cap on any long-poll request's "
+                              "wait (default 30)")
+    serve_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per job's engine run "
+                              "(default 1 = serial in-process)")
+    serve_p.add_argument("--cache-dir", default=None,
+                         help="result + trace cache root shared by every "
+                              "job (default: no caching)")
+    serve_p.add_argument("--result-store", default="json",
+                         choices=list(RESULT_STORES),
+                         help="result-cache layout under --cache-dir")
+    serve_p.add_argument("--backend", default="auto",
+                         choices=list(BACKENDS),
+                         help="timing backend for group simulations")
+    serve_p.add_argument("--task-timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per worker-pool task deadline (hung-worker "
+                              "recovery; default: none)")
+    serve_p.add_argument("--max-pool-restarts", type=int, default=None,
+                         metavar="N",
+                         help="pool respawns before a job's run degrades "
+                              "to serial (default 6)")
+
+    client_p = sub.add_parser(
+        "client", help="talk to a running repro serve instance")
+    client_p.add_argument("--server", default="http://127.0.0.1:8023",
+                          help="service base URL "
+                               "(default http://127.0.0.1:8023)")
+    client_p.add_argument("--timeout", type=float, default=10.0,
+                          help="per-request socket timeout (default 10)")
+    client_p.add_argument("--retries", type=int, default=5,
+                          help="attempts per request before giving up; "
+                               "connection errors, 429 and 5xx retry with "
+                               "deterministic backoff (default 5)")
+    client_sub = client_p.add_subparsers(dest="client_command", required=True)
+    submit_p = client_sub.add_parser(
+        "submit", help="submit a sweep (idempotent: resubmitting the same "
+                       "sweep attaches to the existing job)")
+    submit_p.add_argument("--kernels", nargs="*", default=None,
+                          choices=kernel_names())
+    submit_p.add_argument("--isas", nargs="*", default=None,
+                          choices=list(ISA_VARIANTS))
+    submit_p.add_argument("--ways", nargs="*", type=int, default=[4])
+    submit_p.add_argument("--latencies", nargs="*", type=int, default=[1])
+    submit_p.add_argument("--scale", type=int, default=None)
+    submit_p.add_argument("--seed", type=int, default=1999)
+    submit_p.add_argument("--deadline-seconds", type=float, default=None,
+                          help="wall-clock budget for the job; past it the "
+                               "job fails at the next record boundary with "
+                               "its completed points journaled (resubmit "
+                               "with a longer deadline to continue)")
+    submit_p.add_argument("--no-check", action="store_true",
+                          help="skip functional result checking")
+    submit_p.add_argument("--watch", action="store_true",
+                          help="after submitting, stream the job's events "
+                               "until it finishes (same as repro client "
+                               "watch JOB)")
+    watch_p = client_sub.add_parser(
+        "watch", help="stream a job's events (one JSON line per completed "
+                      "point) until it reaches a terminal state")
+    watch_p.add_argument("job_id")
+    fetch_p = client_sub.add_parser(
+        "fetch", help="print a finished job's full results as JSON")
+    fetch_p.add_argument("job_id")
+    client_sub.add_parser("list", help="list the server's jobs")
+
     cal_p = sub.add_parser(
         "calibrate",
         help="measure the vector backend's batch cut-over on this machine "
@@ -552,6 +647,112 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.sweep.service import ServiceHTTPServer, SweepService
+
+    service = SweepService(args.state_dir,
+                           cache_dir=args.cache_dir,
+                           jobs=args.jobs,
+                           max_queue=args.max_queue,
+                           result_store=args.result_store,
+                           backend=args.backend,
+                           task_timeout=args.task_timeout,
+                           max_pool_restarts=args.max_pool_restarts)
+    resumed = service.recover()
+    if resumed:
+        print(f"[serve] resumed {len(resumed)} unfinished job(s): "
+              f"{' '.join(resumed)}", file=sys.stderr)
+    service.start()
+    server = ServiceHTTPServer((args.host, args.port), service,
+                               max_poll_seconds=args.max_poll_seconds)
+    host, port = server.server_address[:2]
+    # Printed on stdout and flushed so scripts (and the chaos smoke) can
+    # scrape the bound port even under --port 0.
+    print(f"[serve] listening on http://{host}:{port} "
+          f"(state: {args.state_dir})", flush=True)
+    try:
+        server.serve_forever(poll_interval=0.2)
+    except KeyboardInterrupt:
+        print("[serve] interrupted: draining", file=sys.stderr)
+    except _Terminated:
+        print("[serve] SIGTERM: draining", file=sys.stderr)
+    finally:
+        server.server_close()
+        service.drain()
+        state = service.resume_state()
+        if state["pending"]:
+            print(f"[serve] {len(state['pending'])} unfinished job(s) "
+                  f"journaled; restart with --state-dir {args.state_dir} "
+                  f"to resume: {' '.join(state['pending'])}",
+                  file=sys.stderr)
+    return 0
+
+
+def _client_submission(args: argparse.Namespace) -> dict:
+    return {
+        "kernels": args.kernels,
+        "isas": args.isas,
+        "ways": args.ways,
+        "latencies": args.latencies,
+        "scale": args.scale,
+        "seed": args.seed,
+        "deadline_seconds": args.deadline_seconds,
+        "check": not args.no_check,
+    }
+
+
+def _client_watch(client: "ServiceClient", job_id: str) -> int:  # noqa: F821
+    final = None
+    for event in client.watch(job_id):
+        if "key" not in event and "job" in event:
+            final = event["job"]
+            break
+        print(json.dumps(event, sort_keys=True), flush=True)
+    assert final is not None
+    print(f"job {final['id']}: {final['status']} "
+          f"({final['done']}/{final['total']} point(s))", file=sys.stderr)
+    if final["status"] == "failed":
+        error = final.get("error") or {}
+        print(f"error: {error.get('message', error)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.sweep.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.server, timeout=args.timeout,
+                           retries=args.retries)
+    try:
+        if args.client_command == "submit":
+            job, created = client.submit(_client_submission(args))
+            print(f"job {job['id']} {'created' if created else 'attached'}: "
+                  f"{job['status']}, {job['total']} point(s)",
+                  file=sys.stderr)
+            if args.watch:
+                return _client_watch(client, job["id"])
+            print(job["id"])
+            return 0
+        if args.client_command == "watch":
+            return _client_watch(client, args.job_id)
+        if args.client_command == "fetch":
+            # Canonical compact JSON: two fetches of the same finished job
+            # — even across a server kill and resume — are byte-identical.
+            print(json.dumps(client.fetch(args.job_id), sort_keys=True))
+            return 0
+        if args.client_command == "list":
+            for job in client.jobs():
+                print(f"{job['id']}  {job['status']:12s} "
+                      f"{job['done']}/{job['total']}")
+            return 0
+        raise AssertionError(
+            f"unhandled client command {args.client_command!r}"
+        )  # pragma: no cover
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def _format_bytes(n: int) -> str:
     for unit in ("B", "KiB", "MiB", "GiB"):
         if n < 1024 or unit == "GiB":
@@ -633,6 +834,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
             print(f"  orphaned temp files: {stats.tmp_files} "
                   f"({_format_bytes(stats.tmp_bytes)}), "
                   f"{stats.stale_tmp_files} stale (gc will sweep)")
+        if stats.corrupt_files:
+            print(f"  quarantined corrupt entries: {stats.corrupt_files} "
+                  f"({_format_bytes(stats.corrupt_bytes)}; gc will sweep)")
         if stats.oldest_mtime is not None:
             age = time.time() - stats.oldest_mtime
             print(f"  least recently used entry: {age / 86400:.1f} day(s) ago")
@@ -653,6 +857,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if report.tmp_removed:
             print(f"swept {report.tmp_removed} stale temp file(s) "
                   f"({_format_bytes(report.tmp_bytes_freed)} freed)")
+        if report.corrupt_removed:
+            print(f"swept {report.corrupt_removed} quarantined corrupt "
+                  f"entr{'y' if report.corrupt_removed == 1 else 'ies'} "
+                  f"({_format_bytes(report.corrupt_bytes_freed)} freed)")
         return 0
     if args.cache_command == "clear":
         report = clear_cache(args.cache_dir)
@@ -662,6 +870,10 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         if report.tmp_removed:
             print(f"swept {report.tmp_removed} temp file(s) "
                   f"({_format_bytes(report.tmp_bytes_freed)} freed)")
+        if report.corrupt_removed:
+            print(f"swept {report.corrupt_removed} quarantined corrupt "
+                  f"entr{'y' if report.corrupt_removed == 1 else 'ies'} "
+                  f"({_format_bytes(report.corrupt_bytes_freed)} freed)")
         return 0
     raise AssertionError(
         f"unhandled cache command {args.cache_command!r}")  # pragma: no cover
@@ -680,6 +892,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_tables(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "client":
+        return _cmd_client(args)
     if args.command == "calibrate":
         return _cmd_calibrate(args)
     if args.command == "cache":
@@ -687,20 +903,67 @@ def _dispatch(args: argparse.Namespace) -> int:
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 
 
+class _Terminated(BaseException):
+    """Raised by the SIGTERM handler inside :func:`main`.
+
+    Deliberately a ``BaseException`` (like ``KeyboardInterrupt``): it must
+    fly past ordinary ``except Exception`` recovery and reach the sink
+    teardown (:func:`stream_sinks`) and :func:`main`'s own handler, so a
+    ``kill`` gets exactly the Ctrl-C treatment — sinks closed at a record
+    boundary, progress line erased, resume hint printed, exit 143.
+    """
+
+
+@contextlib.contextmanager
+def _sigterm_raises():
+    """Route SIGTERM into a :class:`_Terminated` raise for this block.
+
+    The default SIGTERM disposition kills the process on the spot —
+    mid-record, progress line still on the terminal, no resume hint.
+    Installing a raising handler turns the signal into a normal exception
+    unwind through the same ``finally``/context-manager teardown Ctrl-C
+    (KeyboardInterrupt) already exercises.  The previous handler is
+    restored on exit; off the main thread (embedded callers) signal
+    handling is untouchable and the block runs unchanged.
+    """
+    def _handler(signum: int, frame: object) -> None:
+        raise _Terminated()
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _handler)
+    except ValueError:  # not the main thread: leave signal handling alone
+        yield
+        return
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+def _print_interrupt(args: argparse.Namespace, reason: str) -> None:
+    print(reason, file=sys.stderr)
+    resume = getattr(args, "resume", None)
+    if resume:
+        print(f"completed points are journaled; re-run with "
+              f"--resume {resume} to continue", file=sys.stderr)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Ctrl-C exits with the conventional 130 instead of a traceback; when
-    the interrupted command carried ``--resume``, every completed point is
-    already in the journal and the exit message says how to pick up.
+    Ctrl-C exits with the conventional 130, SIGTERM with 143 (128 + 15) —
+    both without a traceback, both after the streaming sinks closed at a
+    record boundary.  When the interrupted command carried ``--resume``,
+    every completed point is already in the journal and the exit message
+    says how to pick up.
     """
     args = build_parser().parse_args(argv)
     try:
-        return _dispatch(args)
+        with _sigterm_raises():
+            return _dispatch(args)
     except KeyboardInterrupt:
-        print("interrupted", file=sys.stderr)
-        resume = getattr(args, "resume", None)
-        if resume:
-            print(f"completed points are journaled; re-run with "
-                  f"--resume {resume} to continue", file=sys.stderr)
+        _print_interrupt(args, "interrupted")
         return 130
+    except _Terminated:
+        _print_interrupt(args, "terminated (SIGTERM)")
+        return 143

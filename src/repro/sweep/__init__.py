@@ -29,18 +29,28 @@ The sweep subsystem is the shared engine behind every experiment driver
   serialized functional traces keyed by (kernel, ISA, workload spec,
   builder version), shared by the parent and every worker process;
 * :mod:`~repro.sweep.manage` — stats / GC / clear over all stores
-  (``repro cache`` on the command line).
+  (``repro cache`` on the command line);
+* :class:`~repro.sweep.service.SweepService` /
+  :class:`~repro.sweep.client.ServiceClient` — the crash-tolerant HTTP
+  sweep service and its retrying client (``repro serve`` /
+  ``repro client``), with journal-backed recovery, idempotent
+  submissions, bounded queues and deadlines (see ``docs/service.md``).
 
 See ``docs/sweep-engine.md`` for the full guide.
 """
 
 from repro.sweep.cache import (RESULT_STORES, ResultCache, make_result_store,
                                point_key)
+from repro.sweep.client import ServiceClient, ServiceError
 from repro.sweep.engine import PointResult, SweepEngine, ensure_engine
 from repro.sweep.faults import FAULT_ENV, FaultPlan, FaultRule, InjectedFault
-from repro.sweep.journal import SweepJournal, read_jsonl
+from repro.sweep.journal import (JournalLockedError, SweepJournal,
+                                 read_jsonl)
 from repro.sweep.manage import (CacheStats, GCReport, cache_stats,
                                 clear_cache, gc_cache)
+from repro.sweep.service import (QueueFull, ServiceHTTPServer, SweepService,
+                                 UnknownJob, job_id_for, normalize_submission,
+                                 submission_points)
 from repro.sweep.spec import SweepPoint, SweepSpec, resolve_spec
 from repro.sweep.sqlite_store import SQLiteResultStore
 from repro.sweep.supervisor import (PointFailure, PoolSupervisor,
@@ -57,22 +67,32 @@ __all__ = [
     "PointFailure",
     "PointResult",
     "PoolSupervisor",
+    "QueueFull",
     "RESULT_STORES",
     "ResultCache",
     "SQLiteResultStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHTTPServer",
     "SupervisorPolicy",
     "SweepEngine",
+    "JournalLockedError",
     "SweepJournal",
     "SweepPoint",
+    "SweepService",
     "SweepSpec",
     "TraceCache",
+    "UnknownJob",
     "cache_stats",
     "clear_cache",
     "ensure_engine",
     "gc_cache",
+    "job_id_for",
     "make_result_store",
+    "normalize_submission",
     "point_key",
     "read_jsonl",
     "resolve_spec",
+    "submission_points",
     "trace_key",
 ]

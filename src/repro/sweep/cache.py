@@ -30,7 +30,8 @@ from collections import Counter
 from dataclasses import fields
 from typing import Any, Dict, Optional
 
-from repro.common.atomicio import atomic_write_json
+from repro.common.atomicio import (atomic_write_json, quarantine_corrupt,
+                                   stamp_checksum, verify_checksum)
 
 from repro.isa.opclasses import OpClass
 from repro.timing.config import MachineConfig
@@ -183,6 +184,9 @@ class ResultCache:
         self.version = version if version is not None else MODEL_VERSION
         self.hits = 0
         self.misses = 0
+        #: Entries this instance quarantined (``*.corrupt``) because they
+        #: failed to parse or their embedded checksum mismatched.
+        self.corrupt = 0
 
     # -- key/path plumbing ------------------------------------------------
 
@@ -201,7 +205,11 @@ class ResultCache:
         Any unreadable, corrupt, or schema-mismatched entry (e.g. written
         by an older code version that stored fewer fields) counts as a
         plain miss — the point is recomputed rather than crashing the
-        sweep.
+        sweep.  An entry that fails to parse or whose embedded content
+        checksum mismatches is additionally **quarantined** to
+        ``<entry>.corrupt`` (counted in :attr:`corrupt` and by ``repro
+        cache stats``; ``gc`` sweeps it), so rotten bytes are preserved
+        for inspection but can never be re-read.
 
         A hit touches the entry's mtime so age/size eviction
         (:func:`repro.sweep.manage.gc_cache`) is least-recently-*used*, not
@@ -211,8 +219,21 @@ class ResultCache:
         try:
             with open(path, "r", encoding="utf-8") as f:
                 entry = json.load(f)
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            entry = None  # unparseable bytes: quarantine below
+        if entry is None or not verify_checksum(entry):
+            quarantine_corrupt(path)
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        try:
             result = self.load_result(entry)
-        except (OSError, ValueError, KeyError, TypeError):
+        except (ValueError, KeyError, TypeError):
+            # Verified bytes in an unexpected schema (an older writer): a
+            # plain miss, not corruption.
             self.misses += 1
             return None
         try:
@@ -242,7 +263,7 @@ class ResultCache:
             "sim": sim_to_dict(sim),
             "stats": stats_to_dict(stats),
         }
-        atomic_write_json(path, entry, sort_keys=True)
+        atomic_write_json(path, stamp_checksum(entry), sort_keys=True)
         return key
 
     def load_result(self, entry: Dict[str, Any]):

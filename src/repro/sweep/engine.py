@@ -63,7 +63,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Set, Tuple, Union)
 
 from repro.sweep import faults
@@ -512,6 +512,25 @@ class SweepEngine:
         use_journal = journal is not None and not keep_builds
         completed = journal.load() if use_journal else {}
 
+        try:
+            yield from self._iter_results_journaled(
+                points, journal, use_journal, completed, on_result,
+                keep_builds)
+        finally:
+            # Release the journal's writer lock (and file handle) whether
+            # the run completed, raised, or the consumer abandoned the
+            # generator — a later run (this process or another) must be
+            # able to take the lock.
+            if use_journal:
+                journal.close()
+
+    def _iter_results_journaled(self, points: Sequence[SweepPoint],
+                                journal: Optional[SweepJournal],
+                                use_journal: bool,
+                                completed: Dict[str, Dict[str, Any]],
+                                on_result: Optional[
+                                    Callable[[PointResult], None]],
+                                keep_builds: bool) -> Iterator[PointResult]:
         def key_of(point: SweepPoint) -> str:
             if self.cache is not None:
                 return self.cache.key_for(point)

@@ -43,6 +43,25 @@ them, and sweep expansion order is deterministic — so serially the firing
 point is fully determined, and under a pool the set of candidate points is.
 Make selectors specific (kernel + ISA + config) when a test needs one
 exact point.
+
+Service-level stages
+--------------------
+
+Rules default to ``stage: "point"`` — they fire where a sweep point is
+simulated.  Code above the engine (the sweep service of
+:mod:`repro.sweep.service`) declares its own named stages and calls
+:func:`fire_stage` at them; a rule whose ``stage`` names one fires there
+instead, with the same kinds, budgets and cross-process slot files::
+
+    {"kind": "crash", "stage": "service.result", "times": 2}
+
+SIGKILLs the server right after a result is durably journaled — and,
+because the budget lives in ``state_dir`` slot files, a restarted server
+dies once more after its next *fresh* result, then the third incarnation
+runs to completion: a deterministic kill/restart/kill/restart chaos
+sequence from one rule.  Stage rules ignore the point selectors
+(there is no point at a service stage) and default to ``scope: "any"``
+(the stage site *is* the process under test).
 """
 
 from __future__ import annotations
@@ -55,7 +74,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
 
 __all__ = ["FAULT_ENV", "FAULT_KINDS", "FaultPlan", "FaultRule",
-           "InjectedFault", "fire_faults", "in_worker", "mark_worker"]
+           "InjectedFault", "fire_faults", "fire_stage", "in_worker",
+           "mark_worker"]
 
 #: Environment variable holding the JSON fault specification.
 FAULT_ENV = "REPRO_FAULT_INJECT"
@@ -95,13 +115,20 @@ class FaultRule:
     seconds: float = 3600.0
     scope: Optional[str] = None  # None = kind default (crash/hang: worker)
     message: str = "injected fault"
+    #: Where the rule fires: ``"point"`` (default — the engine's per-point
+    #: simulation site) or any named service stage passed to
+    #: :func:`fire_stage` (e.g. ``"service.result"``).
+    stage: str = "point"
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r}; "
                              f"choose from {FAULT_KINDS}")
         if self.scope is None:
-            self.scope = "worker" if self.kind in ("crash", "hang") else "any"
+            # At a service stage the process at the stage site is the one
+            # under test, so worker scoping would make the rule inert.
+            self.scope = ("worker" if self.kind in ("crash", "hang")
+                          and self.stage == "point" else "any")
         if self.scope not in ("worker", "any"):
             raise ValueError(f"unknown fault scope {self.scope!r}")
 
@@ -200,24 +227,47 @@ class FaultPlan:
         outside one.
         """
         for index, rule in enumerate(self.rules):
+            if rule.stage != "point":
+                continue
             if rule.scope == "worker" and not in_worker():
                 continue
             if not rule.matches(point):
                 continue
             if not self._claim(index, rule):
                 continue
-            self.fired.append(rule.kind)
-            if rule.kind == "crash":
-                os.kill(os.getpid(), signal.SIGKILL)  # never returns
-            elif rule.kind == "hang":
-                time.sleep(rule.seconds)
-            elif rule.kind == "raise":
-                raise InjectedFault(
-                    f"{rule.message} ({point.kernel}/{point.isa} on "
-                    f"{point.config.name})")
-            elif rule.kind == "slow":
-                time.sleep(rule.seconds)
+            self._execute(rule, f"{point.kernel}/{point.isa} on "
+                                f"{point.config.name}")
             return
+
+    def fire_stage(self, stage: str, label: str = "") -> None:
+        """Fire the first armed rule declared for a named service stage.
+
+        Point selectors do not apply (there is no point at a service
+        stage); only ``stage``, ``scope`` and the firing budget do.
+        ``label`` annotates the raised message (e.g. a job id).
+        """
+        for index, rule in enumerate(self.rules):
+            if rule.stage != stage:
+                continue
+            if rule.scope == "worker" and not in_worker():
+                continue
+            if not self._claim(index, rule):
+                continue
+            self._execute(rule, f"stage {stage}" + (f", {label}" if label
+                                                    else ""))
+            return
+
+    def _execute(self, rule: FaultRule, where: str) -> None:
+        """Carry out one claimed firing (shared by both fire sites)."""
+        self.fired.append(rule.kind)
+        if rule.kind == "crash":
+            os.kill(os.getpid(), signal.SIGKILL)  # never returns
+        elif rule.kind == "hang":
+            time.sleep(rule.seconds)
+        elif rule.kind == "raise":
+            raise InjectedFault(f"{rule.message} ({where})")
+        elif rule.kind == "slow":
+            time.sleep(rule.seconds)
 
 
 #: Memoised plans keyed by the exact spec string (see ``from_env``).
@@ -233,3 +283,15 @@ def fire_faults(point: "SweepPoint") -> None:  # noqa: F821
     plan = FaultPlan.from_env()
     if plan is not None:
         plan.maybe_fire(point)
+
+
+def fire_stage(stage: str, label: str = "") -> None:
+    """Service hook: fire any armed injected fault at a named stage.
+
+    Like :func:`fire_faults` but for sites above the engine — the sweep
+    service calls it at its own stages (``"service.result"``,
+    ``"service.submit"``, ...).  A no-op when :data:`FAULT_ENV` is unset.
+    """
+    plan = FaultPlan.from_env()
+    if plan is not None:
+        plan.fire_stage(stage, label=label)

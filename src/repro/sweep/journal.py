@@ -51,6 +51,21 @@ points and replays in O(points), with no eviction policy.  Long-lived
 cross-sweep storage is the result cache's job
 (:class:`~repro.sweep.cache.ResultCache` or
 :class:`~repro.sweep.sqlite_store.SQLiteResultStore`).
+
+Single-writer lock
+------------------
+
+Two live processes appending to one journal would interleave records of
+*different* sweeps under the same healed-tail rules — silently wrong on
+resume.  Opening a journal for writing therefore takes an ``O_EXCL``
+pid-stamped lockfile (``<journal>.lock``) first.  A lock whose stamped pid
+is dead (the usual aftermath of SIGKILL) is reclaimed automatically; a lock
+held by a *live* process raises :class:`JournalLockedError` with the owner's
+pid.  The lock guards writers only — :meth:`SweepJournal.load` and
+:func:`read_jsonl` never take it, so progress watchers can tail a journal
+someone else is writing.  Liveness is checked with ``os.kill(pid, 0)``,
+which assumes all writers share one host — true by construction for a local
+journal file.
 """
 
 from __future__ import annotations
@@ -59,7 +74,8 @@ import json
 import os
 from typing import IO, Any, Dict, List, Optional, Tuple
 
-__all__ = ["JOURNAL_FORMAT", "JsonlScan", "SweepJournal", "read_jsonl"]
+__all__ = ["JOURNAL_FORMAT", "LOCK_SUFFIX", "JournalLockedError", "JsonlScan",
+           "SweepJournal", "read_jsonl"]
 
 #: Version of the journal record layout; bump on incompatible changes.
 #: Readers skip header records of other formats (and their files' records),
@@ -68,6 +84,47 @@ JOURNAL_FORMAT = 1
 
 #: Marker field of the header record (first line of a fresh journal).
 _HEADER_MARKER = "repro-sweep-journal"
+
+#: Suffix of the single-writer lockfile beside each journal.
+LOCK_SUFFIX = ".lock"
+
+
+class JournalLockedError(RuntimeError):
+    """Another live process holds the journal's writer lock.
+
+    Raised instead of appending when ``<journal>.lock`` exists and its
+    stamped pid is alive.  Stale locks (dead pid) are reclaimed silently,
+    so this only ever means a genuinely concurrent writer.
+    """
+
+    def __init__(self, path: str, owner_pid: Optional[int]) -> None:
+        self.path = path
+        self.owner_pid = owner_pid
+        owner = (f"pid {owner_pid}" if owner_pid is not None
+                 else "an unidentified process")
+        super().__init__(
+            f"journal {path!r} is locked by {owner} (live); "
+            f"two writers on one journal would corrupt resume state. "
+            f"Wait for it to finish, or remove {path + LOCK_SUFFIX!r} "
+            f"if you are certain no writer is running.")
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe; errs toward "alive" (never reclaims a
+    lock it cannot prove stale)."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OverflowError:
+        # Not a representable pid: whatever stamped it, it is not running.
+        return False
+    except OSError:
+        # EPERM and friends: the process exists but is not ours.
+        return True
+    return True
 
 
 class JsonlScan:
@@ -180,6 +237,69 @@ class SweepJournal:
         self.skipped_lines = 0
         self._file: Optional[IO[str]] = None
         self._good_end: Optional[int] = None
+        self._locked = False
+
+    @property
+    def lock_path(self) -> str:
+        """Path of the single-writer lockfile beside the journal."""
+        return self.path + LOCK_SUFFIX
+
+    # -- single-writer lock ------------------------------------------------
+
+    @staticmethod
+    def _read_lock_pid(lock_path: str) -> Optional[int]:
+        try:
+            with open(lock_path, "r", encoding="utf-8") as f:
+                stamp = json.load(f)
+            return int(stamp["pid"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _acquire_lock(self) -> None:
+        """Take the O_EXCL writer lock, reclaiming a stale (dead-pid) one.
+
+        Raises :class:`JournalLockedError` when a live process holds it.
+        A lock that cannot be read at all is treated as stale — it can
+        only come from a writer killed mid-stamp (the stamp itself is one
+        small write, so this is vanishingly rare) and a live holder would
+        have finished stamping before doing anything else.
+        """
+        if self._locked:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        stamp = json.dumps({"journal": os.path.basename(self.path),
+                            "pid": os.getpid()})
+        # Two attempts: the second runs only after unlinking a stale lock,
+        # so losing it means a live writer raced us — a real conflict.
+        for _attempt in range(2):
+            try:
+                fd = os.open(self.lock_path,
+                             os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+            except FileExistsError:
+                owner = self._read_lock_pid(self.lock_path)
+                if owner is not None and _pid_alive(owner):
+                    raise JournalLockedError(self.path, owner)
+                try:
+                    os.unlink(self.lock_path)
+                except OSError:
+                    pass
+                continue
+            with os.fdopen(fd, "w", encoding="utf-8") as f:
+                f.write(stamp)
+            self._locked = True
+            return
+        raise JournalLockedError(self.path,
+                                 self._read_lock_pid(self.lock_path))
+
+    def _release_lock(self) -> None:
+        if self._locked:
+            try:
+                os.unlink(self.lock_path)
+            except OSError:
+                pass
+            self._locked = False
 
     # -- reading -----------------------------------------------------------
 
@@ -225,8 +345,14 @@ class SweepJournal:
     # -- writing -----------------------------------------------------------
 
     def _open(self) -> IO[str]:
-        """Open for appending, healing any torn tail exactly once."""
+        """Open for appending, healing any torn tail exactly once.
+
+        Takes the single-writer lock first (see :meth:`_acquire_lock`);
+        the torn-tail truncation below is only safe when no live writer
+        shares the file.
+        """
         if self._file is None:
+            self._acquire_lock()
             directory = os.path.dirname(self.path)
             if directory:
                 os.makedirs(directory, exist_ok=True)
@@ -294,13 +420,14 @@ class SweepJournal:
         })
 
     def close(self) -> None:
-        """Close the underlying file (appends reopen it transparently)."""
+        """Close the file and release the writer lock (appends reopen both)."""
         if self._file is not None:
             self._file.close()
             self._file = None
             # A later append must re-scan: the committed end has moved past
             # the offset remembered at open time.
             self._good_end = None
+        self._release_lock()
 
     def __enter__(self) -> "SweepJournal":
         return self

@@ -36,6 +36,17 @@ one ``*.tmp`` file.  :func:`cache_stats` reports them and :func:`gc_cache`
 sweeps any older than a grace period (:data:`TMP_GRACE_SECONDS` — young
 ones may belong to a live writer), so crashes leave bounded garbage.
 
+Quarantined corrupt entries
+---------------------------
+
+Entries embed a content checksum
+(:func:`repro.common.atomicio.stamp_checksum`); a store that reads an
+unparseable or checksum-mismatched entry quarantines it as ``*.corrupt``
+and treats the key as a miss.  :func:`cache_stats` counts the quarantined
+files, and :func:`gc_cache` / :func:`clear_cache` sweep them regardless of
+age or bounds — a quarantined file is never live, it exists only for
+post-mortem inspection between the miss and the next GC.
+
 The CLI exposes all of this as ``repro cache stats|gc|clear``.
 """
 
@@ -46,13 +57,13 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from repro.common.atomicio import TMP_SUFFIX
+from repro.common.atomicio import CORRUPT_SUFFIX, TMP_SUFFIX
 from repro.sweep.tracecache import TRACE_SUBDIR
 from repro.timing.lowered import LOWERING_VERSION
 
 __all__ = ["CacheEntry", "CacheStats", "GCReport", "TMP_GRACE_SECONDS",
-           "iter_cache_entries", "iter_tmp_files", "cache_stats", "gc_cache",
-           "clear_cache"]
+           "iter_cache_entries", "iter_corrupt_files", "iter_tmp_files",
+           "cache_stats", "gc_cache", "clear_cache"]
 
 #: Logical sections of a shared cache root.
 _SECTIONS = ("results", "traces")
@@ -100,6 +111,10 @@ class CacheStats:
     #: Of those, how many exceed the GC grace period (``repro cache gc``
     #: will sweep exactly these).
     stale_tmp_files: int = 0
+    #: Quarantined ``*.corrupt`` entries (failed parse or checksum
+    #: mismatch on read); ``gc``/``clear`` sweep them regardless of age.
+    corrupt_files: int = 0
+    corrupt_bytes: int = 0
     oldest_mtime: Optional[float] = None
     newest_mtime: Optional[float] = None
 
@@ -129,6 +144,8 @@ class CacheStats:
             "tmp_files": self.tmp_files,
             "tmp_bytes": self.tmp_bytes,
             "stale_tmp_files": self.stale_tmp_files,
+            "corrupt_files": self.corrupt_files,
+            "corrupt_bytes": self.corrupt_bytes,
             "oldest_mtime": self.oldest_mtime,
             "newest_mtime": self.newest_mtime,
         }
@@ -146,6 +163,10 @@ class GCReport:
     #: tmp file was never a cache entry).
     tmp_removed: int = 0
     tmp_bytes_freed: int = 0
+    #: Quarantined corrupt entries swept (also not cache entries — their
+    #: keys already read as misses).
+    corrupt_removed: int = 0
+    corrupt_bytes_freed: int = 0
 
 
 def _iter_section(root: str, section: str) -> Iterator[CacheEntry]:
@@ -196,16 +217,13 @@ def iter_cache_entries(cache_dir: str) -> Iterator[CacheEntry]:
     yield from _iter_section(os.path.join(cache_dir, TRACE_SUBDIR), "traces")
 
 
-def iter_tmp_files(cache_dir: str) -> Iterator[Tuple[str, int, float]]:
-    """Yield ``(path, size, mtime)`` of every ``*.tmp`` file under the root.
-
-    These are orphans of interrupted atomic writes (every live write
-    unlinks its tempfile on failure; only a kill between ``mkstemp`` and
-    ``os.replace`` leaves one behind).
-    """
+def _iter_suffixed(cache_dir: str, suffix: str,
+                   ) -> Iterator[Tuple[str, int, float]]:
+    """Yield ``(path, size, mtime)`` of every ``*<suffix>`` file under the
+    root."""
     for root, _dirs, files in os.walk(cache_dir):
         for name in files:
-            if not name.endswith(TMP_SUFFIX):
+            if not name.endswith(suffix):
                 continue
             path = os.path.join(root, name)
             try:
@@ -213,6 +231,22 @@ def iter_tmp_files(cache_dir: str) -> Iterator[Tuple[str, int, float]]:
             except OSError:
                 continue
             yield path, st.st_size, st.st_mtime
+
+
+def iter_tmp_files(cache_dir: str) -> Iterator[Tuple[str, int, float]]:
+    """Yield ``(path, size, mtime)`` of every ``*.tmp`` file under the root.
+
+    These are orphans of interrupted atomic writes (every live write
+    unlinks its tempfile on failure; only a kill between ``mkstemp`` and
+    ``os.replace`` leaves one behind).
+    """
+    yield from _iter_suffixed(cache_dir, TMP_SUFFIX)
+
+
+def iter_corrupt_files(cache_dir: str) -> Iterator[Tuple[str, int, float]]:
+    """Yield ``(path, size, mtime)`` of every quarantined ``*.corrupt``
+    entry under the root (result or trace, any fan-out)."""
+    yield from _iter_suffixed(cache_dir, CORRUPT_SUFFIX)
 
 
 def _has_live_lowering(path: str) -> bool:
@@ -260,6 +294,9 @@ def cache_stats(cache_dir: str, now: Optional[float] = None) -> CacheStats:
         stats.tmp_bytes += size
         if reference - mtime > TMP_GRACE_SECONDS:
             stats.stale_tmp_files += 1
+    for _path, size, _mtime in iter_corrupt_files(cache_dir):
+        stats.corrupt_files += 1
+        stats.corrupt_bytes += size
     return stats
 
 
@@ -299,6 +336,17 @@ def _sweep_tmp_files(cache_dir: str, report: GCReport, reference: float,
         report.tmp_bytes_freed += size
 
 
+def _sweep_corrupt_files(cache_dir: str, report: GCReport) -> None:
+    """Unlink every quarantined entry (no grace: they are never live)."""
+    for path, size, _mtime in list(iter_corrupt_files(cache_dir)):
+        try:
+            os.unlink(path)
+        except OSError:
+            continue
+        report.corrupt_removed += 1
+        report.corrupt_bytes_freed += size
+
+
 def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
              max_age_seconds: Optional[float] = None,
              now: Optional[float] = None,
@@ -333,7 +381,8 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
         Minimum age before an orphaned tempfile is swept (younger ones may
         belong to a live writer).
 
-    With neither bound given this sweeps stale tempfiles and nothing else.
+    With neither bound given this sweeps stale tempfiles and quarantined
+    ``*.corrupt`` entries, and nothing else.
     """
     import time
 
@@ -377,6 +426,7 @@ def gc_cache(cache_dir: str, max_bytes: Optional[int] = None,
     if sqlite_doomed:
         sqlite_store.delete_keys(cache_dir, sqlite_doomed)
     _sweep_tmp_files(cache_dir, report, reference, tmp_grace_seconds)
+    _sweep_corrupt_files(cache_dir, report)
 
     report.kept = len(survivors)
     report.bytes_kept = sum(e.size for e in survivors)
@@ -403,4 +453,5 @@ def clear_cache(cache_dir: str) -> GCReport:
         sqlite_store.remove_store(cache_dir)
     _sweep_tmp_files(cache_dir, report, reference=float("inf"),
                      grace_seconds=0.0)
+    _sweep_corrupt_files(cache_dir, report)
     return report

@@ -54,7 +54,8 @@ import json
 import os
 from typing import Any, Dict, Optional
 
-from repro.common.atomicio import atomic_write_json
+from repro.common.atomicio import (atomic_write_json, quarantine_corrupt,
+                                   stamp_checksum, verify_checksum)
 from repro.frontend.builders import BUILDER_VERSION
 from repro.sweep.spec import SweepPoint
 from repro.timing.lowered import LoweredTrace
@@ -119,6 +120,9 @@ class TraceCache:
                                 else BUILDER_VERSION)
         self.hits = 0
         self.misses = 0
+        #: Entries this instance quarantined (``*.corrupt``) because they
+        #: failed to parse or their embedded checksum mismatched.
+        self.corrupt = 0
 
     # -- key/path plumbing ------------------------------------------------
 
@@ -141,10 +145,14 @@ class TraceCache:
         """Return the cached :class:`~repro.trace.container.Trace`, or None.
 
         Any unreadable, corrupt, truncated or format-mismatched entry is a
-        plain miss: the caller rebuilds the trace from the front end.  A
-        valid entry whose *lowered* payload is stale (different
-        :data:`~repro.timing.lowered.LOWERING_VERSION`) or malformed is
-        still a hit — the lowering is recomputed from the trace on demand.
+        plain miss: the caller rebuilds the trace from the front end.  An
+        entry that fails to parse or whose embedded content checksum
+        mismatches is additionally **quarantined** to ``<entry>.corrupt``
+        (counted in :attr:`corrupt` and by ``repro cache stats``; ``gc``
+        sweeps it).  A valid entry whose *lowered* payload is stale
+        (different :data:`~repro.timing.lowered.LOWERING_VERSION`) or
+        malformed is still a hit — the lowering is recomputed from the
+        trace on demand.
 
         A hit touches the entry's mtime so age/size eviction
         (:func:`repro.sweep.manage.gc_cache`) is least-recently-*used*, not
@@ -154,8 +162,21 @@ class TraceCache:
         try:
             with open(path, "r", encoding="utf-8") as f:
                 entry = json.load(f)
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            entry = None  # unparseable bytes: quarantine below
+        if entry is None or not verify_checksum(entry):
+            quarantine_corrupt(path)
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        try:
             trace = Trace.from_payload(entry["trace"])
-        except (OSError, ValueError, KeyError, IndexError, TypeError):
+        except (ValueError, KeyError, IndexError, TypeError):
+            # Verified bytes in an unexpected schema (an older writer): a
+            # plain miss, not corruption.
             self.misses += 1
             return None
         lowered_payload = entry.get("lowered")
@@ -194,5 +215,6 @@ class TraceCache:
             # it and re-lower from the trace.
             "lowered": trace.lower().to_payload(),
         }
-        atomic_write_json(path, entry, sort_keys=True, separators=(",", ":"))
+        atomic_write_json(path, stamp_checksum(entry), sort_keys=True,
+                          separators=(",", ":"))
         return key

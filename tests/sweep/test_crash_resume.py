@@ -7,7 +7,9 @@ points.
 
 * a consumer callback (``on_result``) raising mid-sweep,
 * a worker process SIGKILLed under the pool (``BrokenProcessPool``),
-* the whole CLI process SIGKILLed from outside (subprocess test).
+* the whole CLI process SIGKILLed from outside (subprocess test),
+* the whole CLI process SIGTERMed (graceful: exit 143, sinks closed at a
+  record boundary, resume hint printed).
 """
 
 from __future__ import annotations
@@ -126,6 +128,15 @@ class TestWorkerDeath:
         assert _fingerprint(resumed) == _fingerprint(clean)
 
 
+def _cli_env() -> dict:
+    return dict(os.environ,
+                PYTHONPATH=os.pathsep.join(
+                    [os.path.join(os.path.dirname(__file__), "..", "..",
+                                  "src")]
+                    + ([os.environ["PYTHONPATH"]]
+                       if os.environ.get("PYTHONPATH") else [])))
+
+
 class TestProcessKill:
     """Kill the whole CLI partway through; resume via ``--resume``."""
 
@@ -136,12 +147,7 @@ class TestProcessKill:
                 "--kernels", "comp", "addblock",
                 "--ways", "1", "2", "4", "8", "--latencies", "1", "12", "50",
                 "--scale", "16", "--resume", journal]
-        env = dict(os.environ,
-                   PYTHONPATH=os.pathsep.join(
-                       [os.path.join(os.path.dirname(__file__), "..", "..",
-                                     "src")]
-                       + ([os.environ["PYTHONPATH"]]
-                          if os.environ.get("PYTHONPATH") else [])))
+        env = _cli_env()
 
         proc = subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL,
                                 stderr=subprocess.DEVNULL)
@@ -187,3 +193,51 @@ class TestProcessKill:
         assert again.returncode == 0, again.stderr
         assert f"0 point(s) simulated, 0 from cache, {total} from journal" \
             in again.stdout
+
+
+class TestSigterm:
+    """SIGTERM gets Ctrl-C parity: graceful teardown, exit 143, resume."""
+
+    @pytest.mark.slow
+    def test_sigterm_exits_143_with_clean_sinks_and_resumes(self, tmp_path):
+        journal = str(tmp_path / "j.jsonl")
+        stream = str(tmp_path / "s.jsonl")
+        argv = [sys.executable, "-m", "repro", "sweep",
+                "--kernels", "comp", "addblock",
+                "--ways", "1", "2", "4", "8", "--latencies", "1", "12", "50",
+                "--scale", "16", "--resume", journal,
+                "--stream-jsonl", stream]
+        env = _cli_env()
+
+        proc = subprocess.Popen(argv, env=env, stdout=subprocess.DEVNULL,
+                                stderr=subprocess.PIPE, text=True)
+        deadline = time.time() + 60
+        while time.time() < deadline and proc.poll() is None:
+            if len(SweepJournal(journal).load()) >= 2:
+                break
+            time.sleep(0.01)
+        proc.send_signal(signal.SIGTERM)
+        stderr = proc.communicate(timeout=60)[1]
+        total = 2 * 4 * 3 * 4
+
+        if proc.returncode == 0:  # finished before the signal landed
+            pytest.skip("sweep completed before SIGTERM could interrupt it")
+        assert proc.returncode == 143, stderr
+        assert "terminated (SIGTERM)" in stderr
+        assert f"--resume {journal}" in stderr
+        # The progress line was erased, not left dangling mid-\r.
+        assert not stderr.rstrip("\n").endswith("\x1b[K")
+
+        # The stream sink closed at a record boundary: every line whole.
+        with open(stream, "rb") as f:
+            data = f.read()
+        if data:
+            assert data.endswith(b"\n")
+        for line in data.splitlines():
+            json.loads(line)
+
+        # And the journal resumes exactly like the SIGKILL case.
+        done = subprocess.run(argv, env=env, capture_output=True, text=True,
+                              timeout=300)
+        assert done.returncode == 0, done.stderr
+        assert len(SweepJournal(journal).load()) == total

@@ -10,13 +10,17 @@ broken pools) live in ``test_crash_resume.py``.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
+import subprocess
+import sys
 
 import pytest
 
 from repro.cli import main
 from repro.sweep import (
+    JournalLockedError,
     SweepEngine,
     SweepJournal,
     SweepSpec,
@@ -24,7 +28,7 @@ from repro.sweep import (
     read_jsonl,
 )
 from repro.sweep.cache import sim_to_dict
-from repro.sweep.journal import JOURNAL_FORMAT
+from repro.sweep.journal import JOURNAL_FORMAT, LOCK_SUFFIX
 from repro.timing.config import MachineConfig
 from repro.workloads.generators import WorkloadSpec
 
@@ -162,6 +166,197 @@ class TestSweepJournal:
         with SweepJournal(path) as journal:
             journal.append({"key": "k", "sim": {}, "stats": {}})
         assert set(SweepJournal(path).load()) == {"k"}
+
+
+class TestWriterLock:
+    def _dead_pid(self) -> int:
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_append_takes_lock_and_close_releases_it(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        journal = SweepJournal(path)
+        assert not os.path.exists(path + LOCK_SUFFIX)
+        journal.append({"key": "k", "sim": {}, "stats": {}})
+        assert os.path.exists(path + LOCK_SUFFIX)
+        stamp = json.load(open(path + LOCK_SUFFIX))
+        assert stamp["pid"] == os.getpid()
+        journal.close()
+        assert not os.path.exists(path + LOCK_SUFFIX)
+
+    def test_live_conflict_is_a_clear_error(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        holder = SweepJournal(path)
+        holder.append({"key": "k1", "sim": {}, "stats": {}})
+        try:
+            intruder = SweepJournal(path)
+            with pytest.raises(JournalLockedError) as excinfo:
+                intruder.append({"key": "k2", "sim": {}, "stats": {}})
+            message = str(excinfo.value)
+            assert str(os.getpid()) in message
+            assert LOCK_SUFFIX in message
+        finally:
+            holder.close()
+
+    def test_stale_dead_pid_lock_is_reclaimed(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path + LOCK_SUFFIX, "w") as f:
+            json.dump({"journal": "j.jsonl", "pid": self._dead_pid()}, f)
+        with SweepJournal(path) as journal:
+            journal.append({"key": "k", "sim": {}, "stats": {}})
+            stamp = json.load(open(path + LOCK_SUFFIX))
+            assert stamp["pid"] == os.getpid()
+        assert set(SweepJournal(path).load()) == {"k"}
+
+    def test_unreadable_lock_is_reclaimed(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        with open(path + LOCK_SUFFIX, "w") as f:
+            f.write("not json")
+        with SweepJournal(path) as journal:
+            journal.append({"key": "k", "sim": {}, "stats": {}})
+        assert set(SweepJournal(path).load()) == {"k"}
+
+    def test_load_never_takes_the_lock(self, tmp_path):
+        """Progress watchers must be able to tail a journal someone else
+        is writing."""
+        path = str(tmp_path / "j.jsonl")
+        holder = SweepJournal(path)
+        holder.append({"key": "k1", "sim": {}, "stats": {}})
+        try:
+            watcher = SweepJournal(path)
+            assert set(watcher.load()) == {"k1"}
+            assert not watcher._locked
+        finally:
+            holder.close()
+
+    def test_engine_releases_lock_after_each_run(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep(ways=(1,))
+        SweepEngine(journal=path).run(sweep)
+        assert not os.path.exists(path + LOCK_SUFFIX)
+        # A second engine (same process, fresh instance) takes over cleanly.
+        engine = SweepEngine(journal=path)
+        engine.run(sweep)
+        assert engine.last_journaled == len(sweep)
+        assert not os.path.exists(path + LOCK_SUFFIX)
+
+    def test_engine_releases_lock_when_consumer_abandons(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep(kernels=("comp", "addblock"), ways=(1,))
+        engine = SweepEngine(journal=path)
+        iterator = engine.iter_results(sweep)
+        next(iterator)
+        iterator.close()
+        assert not os.path.exists(path + LOCK_SUFFIX)
+
+
+class _FailingWriter:
+    """File-object wrapper whose write lands a prefix then raises ENOSPC."""
+
+    def __init__(self, f, keep_bytes):
+        self._f = f
+        self._keep = keep_bytes
+
+    def write(self, data):
+        self._f.write(data[: self._keep])
+        self._f.flush()
+        raise OSError(errno.ENOSPC, "No space left on device")
+
+    def __getattr__(self, name):
+        return getattr(self._f, name)
+
+
+class TestAppendFailure:
+    """A full disk (ENOSPC / short write) mid-append must surface as a
+    clean OSError, and the journal must heal on the next open: the partial
+    record reads as uncommitted, and rewriting it produces a file
+    byte-identical to one written without the fault."""
+
+    def _fill(self, path, keys):
+        with SweepJournal(path) as journal:
+            for key in keys:
+                journal.append({"key": key, "sim": {"cycles": 1},
+                                "stats": {}})
+
+    def test_short_write_raises_and_heals_byte_identically(self, tmp_path):
+        clean = str(tmp_path / "clean.jsonl")
+        self._fill(clean, ["k1", "k2"])
+
+        faulty = str(tmp_path / "faulty.jsonl")
+        journal = SweepJournal(faulty)
+        journal.append({"key": "k1", "sim": {"cycles": 1}, "stats": {}})
+        journal._file = _FailingWriter(journal._file, keep_bytes=10)
+        with pytest.raises(OSError) as excinfo:
+            journal.append({"key": "k2", "sim": {"cycles": 1}, "stats": {}})
+        assert excinfo.value.errno == errno.ENOSPC
+        journal._file = journal._file._f
+        journal.close()
+
+        # The torn tail reads as uncommitted, never as corruption.
+        resumed = SweepJournal(faulty)
+        assert set(resumed.load()) == {"k1"}
+        assert resumed.torn_bytes_discarded == 10
+        assert resumed.skipped_lines == 0
+        # Healing + rewriting the lost record reproduces the clean file
+        # exactly, byte for byte.
+        resumed.append({"key": "k2", "sim": {"cycles": 1}, "stats": {}})
+        resumed.close()
+        assert open(faulty, "rb").read() == open(clean, "rb").read()
+
+    def test_zero_byte_write_raises_and_heals(self, tmp_path):
+        """ENOSPC before any byte lands: nothing to heal, nothing lost."""
+        clean = str(tmp_path / "clean.jsonl")
+        self._fill(clean, ["k1", "k2"])
+
+        faulty = str(tmp_path / "faulty.jsonl")
+        journal = SweepJournal(faulty)
+        journal.append({"key": "k1", "sim": {"cycles": 1}, "stats": {}})
+        journal._file = _FailingWriter(journal._file, keep_bytes=0)
+        with pytest.raises(OSError):
+            journal.append({"key": "k2", "sim": {"cycles": 1}, "stats": {}})
+        journal._file = journal._file._f
+        journal.close()
+
+        resumed = SweepJournal(faulty)
+        assert set(resumed.load()) == {"k1"}
+        assert resumed.torn_bytes_discarded == 0
+        resumed.append({"key": "k2", "sim": {"cycles": 1}, "stats": {}})
+        resumed.close()
+        assert open(faulty, "rb").read() == open(clean, "rb").read()
+
+    def test_engine_surfaces_append_failure_and_resumes(self, tmp_path):
+        """End to end: a sweep whose journal append fails raises cleanly;
+        the next run resumes from the healed journal and completes."""
+        path = str(tmp_path / "j.jsonl")
+        sweep = _sweep(kernels=("comp", "addblock"), ways=(1,))
+
+        class _Breaker(SweepJournal):
+            def __init__(self, p):
+                super().__init__(p)
+                self.appends = 0
+
+            def append(self, record):
+                if self.appends >= 2:
+                    raise OSError(errno.ENOSPC, "No space left on device")
+                super().append(record)
+                self.appends += 1
+
+        engine = SweepEngine(journal=_Breaker(path))
+        with pytest.raises(OSError):
+            engine.run(sweep)
+        assert not os.path.exists(path + LOCK_SUFFIX), \
+            "failed run must still release the writer lock"
+
+        engine = SweepEngine(journal=path)
+        results = engine.run(sweep)
+        assert len(results) == len(sweep)
+        assert engine.last_journaled == 2
+        assert engine.last_simulated == len(sweep) - 2
+        # And a third run replays everything.
+        engine = SweepEngine(journal=path)
+        engine.run(sweep)
+        assert engine.last_journaled == len(sweep)
 
 
 class TestEngineResume:

@@ -13,6 +13,7 @@ import os
 
 import pytest
 
+from repro.common.atomicio import stamp_checksum
 from repro.frontend.builders import BUILDER_VERSION
 from repro.kernels.base import add_build_hook, remove_build_hook
 from repro.sweep import (
@@ -175,7 +176,7 @@ class TestLoweredPayloadInCache:
             entry = json.load(f)
         entry["lowered"]["lowering_version"] = "not-the-live-version"
         with open(path, "w") as f:
-            json.dump(entry, f)
+            json.dump(stamp_checksum(entry), f)
 
         lowering_counter.clear()
         trace = cache.get(point)
@@ -192,7 +193,7 @@ class TestLoweredPayloadInCache:
             entry = json.load(f)
         entry["lowered"]["pool"] = "garbage"
         with open(path, "w") as f:
-            json.dump(entry, f)
+            json.dump(stamp_checksum(entry), f)
 
         trace = cache.get(point)
         assert trace is not None
@@ -212,7 +213,7 @@ class TestLoweredPayloadInCache:
         instrs = entry["lowered"]["instrs"]
         entry["lowered"]["instrs"] = instrs[: len(instrs) // 2]
         with open(path, "w") as f:
-            json.dump(entry, f)
+            json.dump(stamp_checksum(entry), f)
 
         trace = cache.get(point)
         assert trace is not None
@@ -229,7 +230,7 @@ class TestLoweredPayloadInCache:
             entry = json.load(f)
         del entry["lowered"]
         with open(path, "w") as f:
-            json.dump(entry, f)
+            json.dump(stamp_checksum(entry), f)
         assert cache.get(point) is not None
 
 
